@@ -1,0 +1,35 @@
+"""E1: detection & mitigation response time vs attack rate.
+
+Regenerates the paper's response-time table: for each flood rate, the
+time from attack start to the monitor alert, the verified verdict, and
+the mitigation rules landing — averaged over seeds.
+
+Expected shape (see EXPERIMENTS.md): alert < verdict <= mitigation; all
+milestones on the order of a second at Mininet/GENI scale; times flat or
+mildly decreasing as the rate grows (more evidence per window).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.harness.experiments import run_e1_response_time
+
+
+def test_e1_response_time(run_once):
+    table = run_once(
+        run_e1_response_time, rates=(50, 100, 200, 400, 800, 1600), seeds=(1, 2, 3)
+    )
+    record_table(table, "e1_response_time")
+
+    alerts = [v for v in table.column("t_alert_s") if v is not None]
+    verdicts = [v for v in table.column("t_verdict_s") if v is not None]
+    mitigations = [v for v in table.column("t_mitigate_s") if v is not None]
+    assert len(alerts) == 6, "every rate must be detected"
+    # Shape: alert strictly precedes verdict; mitigation lands with the
+    # verdict (same control-plane action burst).
+    for alert, verdict, mitigate in zip(alerts, verdicts, mitigations):
+        assert alert < verdict <= mitigate + 1e-9
+    # Magnitudes: single-digit seconds end to end.
+    assert max(mitigations) < 5.0
+    # Higher rates never slow detection down.
+    assert alerts[-1] <= alerts[0] + 0.5

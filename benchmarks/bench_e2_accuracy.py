@@ -1,0 +1,40 @@
+"""E2: detection accuracy vs monitor threshold, monitor-only vs SPI.
+
+Each run contains a flash crowd (false-positive bait) and a genuine
+flood.  Expected shape: monitor-only trades recall against precision as
+the threshold moves — low thresholds false-alarm on the crowd, high
+thresholds miss the flood — while SPI's verification keeps precision at
+1.0 across the whole band below the attack rate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.harness.experiments import run_e2_accuracy
+
+
+def test_e2_accuracy(run_once):
+    table = run_once(
+        run_e2_accuracy, thresholds=(50, 100, 200, 400, 800), attack_rate=500.0,
+        seeds=(1, 2),
+    )
+    record_table(table, "e2_accuracy")
+
+    rows = {
+        (row[0], row[1]): row for row in table.rows
+    }  # (threshold, defense) -> row
+    fp_index = table.columns.index("fp")
+    recall_index = table.columns.index("recall")
+    precision_index = table.columns.index("precision")
+
+    # Monitor-only false-alarms on the crowd at low thresholds.
+    assert rows[(50, "monitor-only")][fp_index] > 0
+    # SPI refutes those same alerts.
+    assert rows[(50, "spi")][fp_index] == 0
+    assert rows[(50, "spi")][precision_index] == 1.0
+    # Both keep recall while the threshold is below the attack rate.
+    for threshold in (50, 100, 200, 400):
+        assert rows[(threshold, "spi")][recall_index] == 1.0
+    # Above the attack rate the monitor is blind, so both miss.
+    assert rows[(800, "spi")][recall_index] == 0.0
+    assert rows[(800, "monitor-only")][recall_index] == 0.0

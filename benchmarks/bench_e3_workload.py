@@ -1,0 +1,31 @@
+"""E3: OVS inspection workload — selective vs always-on vs sampled DPI.
+
+Expected shape: always-on deep-inspects 100% of packets at every attack
+rate; sampled inspects ~its duty fraction; SPI inspects only the
+suspicious aggregate for only the verification window — a small
+fraction that stays bounded as the attack rate rises, while every
+defense still detects the flood.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.harness.experiments import run_e3_workload
+
+
+def test_e3_workload(run_once):
+    table = run_once(run_e3_workload, rates=(100, 300, 900), seed=1)
+    record_table(table, "e3_workload")
+
+    frac_index = table.columns.index("inspected_fraction")
+    detected_index = table.columns.index("detected")
+    by_defense: dict[str, list[float]] = {}
+    for row in table.rows:
+        by_defense.setdefault(row[1], []).append(row[frac_index])
+        assert row[detected_index], f"{row[1]} must detect at rate {row[0]}"
+
+    assert all(f == 1.0 for f in by_defense["always-on"])
+    assert all(0.05 < f < 0.5 for f in by_defense["sampled"])
+    assert all(f < 0.15 for f in by_defense["spi"])
+    # SPI's worst case is still far below always-on's only case.
+    assert max(by_defense["spi"]) < min(by_defense["always-on"]) / 5

@@ -1,0 +1,29 @@
+"""E4: benign service protection under attack.
+
+Expected shape: benign request success is ~1.0 with no attack, collapses
+under an undefended flood (SYN backlog exhaustion), and recovers to
+near-clean levels after SPI mitigates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.harness.experiments import run_e4_mitigation
+
+
+def test_e4_mitigation(run_once):
+    table = run_once(run_e4_mitigation, attack_rate=400.0, seeds=(1, 2, 3))
+    record_table(table, "e4_mitigation")
+
+    rows = {row[0]: row for row in table.rows}
+    pre = table.columns.index("success_pre")
+    post = table.columns.index("success_post_mitigation")
+
+    # Clean baseline.
+    assert rows["no-attack"][pre] > 0.95
+    assert rows["no-attack"][post] > 0.95
+    # Undefended collapse.
+    assert rows["attack-undefended"][post] < 0.3
+    # SPI recovery: back to near-clean.
+    assert rows["attack-spi"][post] > 0.85
+    assert rows["attack-spi"][post] > rows["attack-undefended"][post] + 0.5

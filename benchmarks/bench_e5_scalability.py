@@ -1,0 +1,28 @@
+"""E5: detection/mitigation time vs topology size (linear switch chains).
+
+Expected shape: time-to-alert is dominated by the monitor window, so it
+grows only by per-hop propagation (milliseconds) as the chain lengthens;
+controller message volume grows with switch count but mitigation time
+stays in the same order — detection does not degrade with scale.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.harness.experiments import run_e5_scalability
+
+
+def test_e5_scalability(run_once):
+    table = run_once(run_e5_scalability, sizes=(2, 4, 8, 16), seeds=(1, 2))
+    record_table(table, "e5_scalability")
+
+    alerts = table.column("t_alert_s")
+    mitigations = table.column("t_mitigate_s")
+    messages = table.column("controller_msgs")
+    assert all(a is not None for a in alerts), "every size must detect"
+    # Mild growth: 16 switches may add propagation+control hops but not
+    # an order of magnitude.
+    assert max(mitigations) < min(mitigations) * 2 + 1.0
+    assert max(mitigations) < 5.0
+    # Control-plane load grows with the fabric.
+    assert messages[-1] > messages[0]

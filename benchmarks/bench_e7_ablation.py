@@ -1,0 +1,91 @@
+"""E7: ablations of the design choices DESIGN.md calls out.
+
+E7a detector family: CUSUM/EWMA/entropy catch a ramped low-rate flood a
+static threshold misses; at high rates every family converges.
+E7b verification window: longer windows gather more evidence per
+verdict at the cost of mitigation latency.
+E7c inspection budget: with simultaneous victims, a budget of one
+serializes verification (worst-case mitigation time grows); larger
+budgets parallelize it.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_table
+from repro.harness.experiments import (
+    run_e7_budget_ablation,
+    run_e7_detector_ablation,
+    run_e7_window_ablation,
+)
+
+
+def test_e7a_detector_families(run_once):
+    table = run_once(run_e7_detector_ablation, rates=(60, 300), seeds=(1, 2))
+    record_table(table, "e7a_detectors")
+
+    rows = {(row[0], row[1]): row for row in table.rows}
+    detected_index = table.columns.index("detected")
+    # The static threshold (100 pps) misses the 60 pps flood.
+    assert rows[(60, "static")][detected_index] == "0/2"
+    # Adaptive families catch it.
+    assert rows[(60, "ewma")][detected_index] == "2/2"
+    assert rows[(60, "cusum")][detected_index] == "2/2"
+    assert rows[(60, "entropy")][detected_index] == "2/2"
+    # At high rate everyone detects.
+    for family in ("static", "adaptive", "ewma", "cusum", "entropy"):
+        assert rows[(300, family)][detected_index] == "2/2"
+
+
+def test_e7b_verification_window(run_once):
+    table = run_once(run_e7_window_ablation, windows=(0.25, 0.5, 1.0, 2.0, 4.0),
+                     seeds=(1, 2))
+    record_table(table, "e7b_window")
+
+    mitigations = table.column("t_mitigate_s")
+    evidence = table.column("syn_evidence")
+    assert all(m is not None for m in mitigations)
+    # Latency grows with the window...
+    assert mitigations[-1] > mitigations[0]
+    # ...and so does the evidence each verdict rests on.
+    assert evidence[-1] > evidence[0] * 2
+
+
+def test_e7c_inspection_budget(run_once):
+    table = run_once(run_e7_budget_ablation, budgets=(1, 2, 4), n_victims=3, seed=1)
+    record_table(table, "e7c_budget")
+
+    worst = table.column("worst_t_mitigate_s")
+    queued = table.column("queued")
+    victims = table.column("victims")
+    assert all(v == "3/3" for v in victims), "all victims eventually mitigated"
+    # Budget 1 serializes: strictly worse worst-case than budget >= concurrent demand.
+    assert worst[0] > worst[-1]
+    assert queued[0] >= 1
+    assert queued[-1] == 0
+
+
+def test_e7d_monitor_sampling(run_once):
+    from repro.harness.experiments import run_e7_sampling_ablation
+
+    table = run_once(
+        run_e7_sampling_ablation,
+        probabilities=(1.0, 0.25, 0.05, 0.01),
+        rates=(100.0, 800.0),
+        seeds=(1, 2),
+    )
+    record_table(table, "e7d_sampling")
+
+    rows = {(row[0], row[1]): row for row in table.rows}
+    detected = table.columns.index("detected_runs")
+    alert = table.columns.index("t_alert_s")
+    # Full sampling and moderate sampling always detect at both rates.
+    for p in (1.0, 0.25, 0.05):
+        for rate in (100.0, 800.0):
+            assert rows[(p, rate)][detected] == "2/2", (p, rate)
+    # Even 1-in-100 sampling sees a high-rate flood (8 samples/window).
+    assert rows[(0.01, 800.0)][detected] == "2/2"
+    # Detection never gets faster as sampling thins at the low rate.
+    low_rate_alerts = [
+        rows[(p, 100.0)][alert] for p in (1.0, 0.25, 0.05)
+    ]
+    assert low_rate_alerts[0] <= low_rate_alerts[-1] + 1e-9

@@ -1,0 +1,99 @@
+"""M1: microbenchmarks of the substrate's hot paths.
+
+These are genuine repeated-timing benchmarks (unlike the experiment
+regenerations): flow-table lookup, wire-format pack/parse, the
+discrete-event loop, and a full small scenario — the costs that bound
+how large a simulated network the harness can drive.
+"""
+
+from __future__ import annotations
+
+from repro.net.headers import TCP_SYN, TcpHeader
+from repro.net.packet import Packet, parse_packet
+from repro.openflow.actions import Output
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+from repro.sim.engine import Simulator
+
+
+def _packet():
+    return Packet.tcp_packet(
+        "00:00:00:00:00:01", "00:00:00:00:00:02", "10.0.0.1", "10.0.0.2",
+        TcpHeader(1234, 80, seq=7, flags=TCP_SYN), b"x" * 64,
+    )
+
+
+def test_flow_table_lookup_100_entries(benchmark):
+    table = FlowTable()
+    for i in range(100):
+        table.install(
+            FlowEntry(match=Match(ip_dst=f"10.1.{i // 250}.{i % 250 + 1}"),
+                      actions=(Output(1),), priority=100),
+            now=0.0,
+        )
+    # Worst case: the packet matches none of the 100 entries.
+    packet = _packet()
+    result = benchmark(table.lookup, packet, 1, 0.0)
+    assert result is None
+
+
+def test_flow_table_lookup_hit_first_priority(benchmark):
+    table = FlowTable()
+    table.install(
+        FlowEntry(match=Match(ip_dst="10.0.0.2"), actions=(Output(1),), priority=300),
+        now=0.0,
+    )
+    for i in range(99):
+        table.install(
+            FlowEntry(match=Match(ip_dst=f"10.1.0.{i + 1}"), actions=(Output(1),),
+                      priority=100),
+            now=0.0,
+        )
+    packet = _packet()
+    result = benchmark(table.lookup, packet, 1, 0.0)
+    assert result is not None
+
+
+def test_packet_pack_to_wire(benchmark):
+    packet = _packet()
+    raw = benchmark(packet.to_bytes)
+    assert len(raw) == packet.size_bytes
+
+
+def test_packet_parse_from_wire(benchmark):
+    raw = _packet().to_bytes()
+    parsed = benchmark(parse_packet, raw)
+    assert parsed.tcp is not None
+
+
+def test_event_loop_throughput_10k_events(benchmark):
+    def run_10k():
+        sim = Simulator()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return state["n"]
+
+    assert benchmark(run_10k) == 10_000
+
+
+def test_small_scenario_end_to_end(benchmark):
+    """A complete 8-second single-switch attack scenario."""
+    from repro.harness.scenario import ScenarioConfig, run_scenario
+    from repro.workload.profiles import WorkloadConfig
+
+    config = ScenarioConfig(
+        topology="single",
+        topology_params={"n_clients": 2, "n_attackers": 1},
+        duration_s=8.0,
+        defense="spi",
+        workload=WorkloadConfig(attack_rate_pps=200, attack_start_s=2.0),
+    )
+    result = benchmark.pedantic(run_scenario, args=(config,), rounds=3, iterations=1)
+    assert result.spi.stats.confirmed == 1

@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark runs one experiment from
+:mod:`repro.harness.experiments` exactly once under pytest-benchmark
+(the experiments are multi-second simulations; repeating them only to
+tighten wall-clock statistics would waste the budget), prints the
+regenerated table, and writes it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_table(table, name: str) -> None:
+    """Print a result table and persist it as markdown + CSV."""
+    print()
+    print(table.to_text())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.md").write_text(table.to_markdown())
+    (RESULTS_DIR / f"{name}.csv").write_text(table.to_csv())
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment function exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Flash crowd vs SYN flood: why verification matters.
+
+Runs the same star topology twice through a legitimate connection burst
+(a flash crowd) followed by a real spoofed flood:
+
+* with the monitor-only defense, which mitigates on every alert, and
+* with SPI, which verifies before acting.
+
+The monitor-only run rate-limits the flash crowd (collateral damage on
+honest users); SPI refutes the crowd alert and still confirms the flood.
+
+    python examples/flash_crowd.py
+"""
+
+from repro.harness import ScenarioConfig, run_scenario
+from repro.harness.scenario import FlashCrowdSpec
+from repro.metrics import Table
+from repro.workload import WorkloadConfig
+
+CROWD = FlashCrowdSpec(start_s=6.0, duration_s=6.0, connections_per_second=200.0)
+
+
+def run(defense: str):
+    config = ScenarioConfig(
+        topology="star",
+        topology_params={"n_arms": 2, "clients_per_arm": 2, "n_attackers": 2},
+        defense=defense,
+        detector="static",
+        detector_params={"syn_rate_threshold": 60.0},
+        duration_s=34.0,
+        flash_crowd=CROWD,
+        workload=WorkloadConfig(
+            attack_rate_pps=500.0, attack_start_s=20.0, attack_duration_s=10.0
+        ),
+    )
+    return run_scenario(config)
+
+
+def main() -> None:
+    table = Table(
+        "Flash crowd (t=6-12s, legitimate) then SYN flood (t=20-30s)",
+        ["defense", "alerts", "detections", "crowd_served", "crowd_success",
+         "flood_detected"],
+    )
+    for defense in ("monitor-only", "spi"):
+        result = run(defense)
+        crowd = result.flash_crowd
+        detections = result.detection_times()
+        table.add_row(
+            defense,
+            len(result.alert_times()),
+            len(detections),
+            f"{crowd.connections_completed}/{crowd.connections_started}",
+            crowd.connections_completed / max(crowd.connections_started, 1),
+            any(t >= 20.0 for t in detections),
+        )
+        if defense == "spi":
+            print(f"[spi] refuted false alarms: {result.spi.stats.refuted}, "
+                  f"confirmed floods: {result.spi.stats.confirmed}")
+    print()
+    print(table.to_text())
+    print("Reading: monitor-only counts the crowd as an attack (detections")
+    print("during t<12s are false positives, and its shield throttles honest")
+    print("users); SPI's deep verification refutes the crowd and fires only")
+    print("on the real flood.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerate the full evaluation report in one command.
+
+Runs every experiment (quick parameters by default, ``--full`` for the
+committed benchmark parameters) and writes a single markdown report with
+all tables, suitable for diffing against EXPERIMENTS.md.
+
+    python examples/generate_report.py [--full] [-o report.md]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.cli import QUICK_ARGS
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the full benchmark parameters (minutes, not seconds)")
+    parser.add_argument("-o", "--output", default="report.md")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="experiment ids to include (default: all)")
+    args = parser.parse_args()
+
+    names = args.only or sorted(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    sections = ["# Regenerated evaluation report\n"]
+    for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        kwargs = {} if args.full else QUICK_ARGS.get(name, {})
+        started = time.time()
+        print(f"[{name}] running ...", end="", flush=True)
+        table = fn(**kwargs)
+        print(f" done in {time.time() - started:.1f}s")
+        sections.append(f"## {name}\n\n{table.to_markdown()}")
+
+    with open(args.output, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

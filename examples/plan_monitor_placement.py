@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Plan a deployment: where to put monitors, then prove it empirically.
+
+Uses the analytic planner (path coverage + greedy placement) on a tree
+fabric, then runs the E10-style distributed attack twice — once with the
+recommended placement, once with a deliberately bad one — to show the
+plan matters.
+
+    python examples/plan_monitor_placement.py
+"""
+
+from repro.harness import ScenarioConfig, run_scenario
+from repro.metrics import Table
+from repro.topology import path_coverage, recommend_monitor_placement, tree
+from repro.workload import WorkloadConfig
+
+TOPOLOGY_PARAMS = {"depth": 2, "fanout": 2, "clients_per_leaf": 1, "n_attackers": 4}
+
+
+def main() -> None:
+    # ---- plan on a throwaway instance of the same topology ----------
+    net, roles = tree(seed=1, **TOPOLOGY_PARAMS)
+    report = path_coverage(net, destinations=roles.servers)
+    print("Per-switch coverage of server-bound paths:")
+    for name, coverage in report.ranked():
+        print(f"  {name:4s}  {coverage:5.1%}")
+    recommended = recommend_monitor_placement(net, k=1, destinations=roles.servers)
+    print(f"\nPlanner recommends monitors on: {recommended}\n")
+
+    # ---- validate empirically with the distributed-attack scenario --
+    table = Table(
+        "Distributed 4-attacker flood vs monitor placement",
+        ["placement", "alerts", "confirmed", "t_mitigate_s"],
+    )
+    leaf_names = tuple(
+        name for name in net.switches if net.switches[name].interfaces and name.startswith("t")
+    )[-4:]
+    for label, switches in (
+        ("recommended", tuple(recommended)),
+        ("leaves-only", leaf_names),
+    ):
+        config = ScenarioConfig(
+            topology="tree",
+            topology_params=TOPOLOGY_PARAMS,
+            defense="spi",
+            detector="static",
+            detector_params={"syn_rate_threshold": 150.0},  # > per-arm rate
+            duration_s=25.0,
+            monitor_switches=switches,
+            inspector_switch=recommended[0],
+            workload=WorkloadConfig(attack_rate_pps=4 * 80.0, attack_start_s=5.0),
+        )
+        result = run_scenario(config)
+        timeline = result.timeline()
+        table.add_row(
+            label,
+            len(result.alert_times()),
+            result.spi.stats.confirmed,
+            timeline.time_to_mitigation,
+        )
+    print(table.to_text())
+    print("Reading: each attacker stays under the per-switch threshold, so")
+    print("leaf monitors never alert; the recommended aggregation point sees")
+    print("the combined flood and the pipeline fires.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Selective Packet Inspection to Detect DoS Flooding Using SDN — reproduction.
+
+A full-stack, pure-Python reproduction of Chin et al., ICDCSW 2015: a
+discrete-event SDN substrate (switches, controller, OpenFlow, TCP
+handshakes) plus the paper's two-tier detector — distributed anomaly
+monitors that raise fast alerts, and on-demand selective deep packet
+inspection that verifies the SYN-flood signature before mitigating.
+
+Quickstart::
+
+    from repro.harness import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(topology="dumbbell", defense="spi"))
+    print(result.timeline().time_to_mitigation)
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the evaluation.
+"""
+
+from repro.core.config import SpiConfig
+from repro.core.spi import SpiSystem
+from repro.harness.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.topology.builder import Network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpiSystem",
+    "SpiConfig",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "Network",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Always-on DPI: inspect every packet, all the time.
+
+The accuracy upper bound the paper argues is unaffordable: every packet
+traversing the switch is copied to the inspector, so the workload meter
+accrues mirror cost for 100% of traffic.  Selective inspection's E3 win
+is measured against this baseline.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.tapdpi import TapDpiBase
+
+
+class AlwaysOnDpi(TapDpiBase):
+    """TapDpiBase with a permanently-on duty cycle."""
+
+    def inspecting_now(self) -> bool:
+        """Always in the on-phase."""
+        return True

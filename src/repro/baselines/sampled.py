@@ -1,0 +1,51 @@
+"""Duty-cycled DPI: inspect everything for a slice of each period.
+
+The pre-SDN compromise: a fixed schedule, blind between on-phases.
+Cheap (workload scales with the duty fraction) but detection latency is
+bounded below by the off-phase length and short floods can be missed
+entirely — the weakness selective, *alert-driven* inspection removes.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.tapdpi import TapDpiBase
+from repro.core.signatures import SynFloodSignatureConfig
+from repro.mitigation.manager import MitigationManager
+from repro.switch.ovs import OpenFlowSwitch
+
+
+class SampledDpi(TapDpiBase):
+    """Inspect during the first ``duty_fraction`` of every period."""
+
+    def __init__(
+        self,
+        switch: OpenFlowSwitch,
+        period_s: float = 5.0,
+        duty_fraction: float = 0.2,
+        signature_config: SynFloodSignatureConfig | None = None,
+        mitigation: MitigationManager | None = None,
+    ) -> None:
+        if not 0 < duty_fraction <= 1:
+            raise ValueError("duty fraction must be in (0, 1]")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.period_s = period_s
+        self.duty_fraction = duty_fraction
+        # Evaluate at the end of each on-phase, when a window of evidence
+        # is complete.
+        super().__init__(
+            switch,
+            evaluation_period_s=period_s,
+            signature_config=signature_config,
+            mitigation=mitigation,
+        )
+        # Re-align the evaluation ticks with the end of each on-phase so
+        # a flood caught in the on-phase is scored immediately, not after
+        # the blind off-phase too.
+        self._task.stop()
+        self._task.start(initial_delay=period_s * duty_fraction)
+
+    def inspecting_now(self) -> bool:
+        """On during the first ``duty_fraction`` of each period."""
+        phase = self.switch.sim.now % self.period_s
+        return phase < self.period_s * self.duty_fraction

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro list                      # topologies, defenses, detectors, experiments
+    python -m repro run --topology dumbbell --defense spi --rate 400
+    python -m repro experiment e1 [--quick] [--markdown]
+
+``run`` executes a single scenario and prints the detection timeline and
+service summary; ``experiment`` regenerates one of the evaluation tables
+(E1-E7 plus the extension experiments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.scenario import DEFENSES, TOPOLOGIES, ScenarioConfig, run_scenario
+from repro.metrics.report import Table
+from repro.monitor.detectors import make_detector
+from repro.workload.profiles import WorkloadConfig
+
+DETECTORS = ("static", "adaptive", "ewma", "cusum", "entropy", "udp-rate")
+
+# Reduced parameter sets so `--quick` finishes in seconds per experiment.
+QUICK_ARGS: dict[str, dict] = {
+    "e1": {"rates": (100, 400), "seeds": (1,)},
+    "e2": {"thresholds": (50, 400), "seeds": (1,)},
+    "e3": {"rates": (300,)},
+    "e4": {"seeds": (1,)},
+    "e5": {"sizes": (2, 4), "seeds": (1,)},
+    "e6": {"crowd_rates": (150,), "seeds": (1,)},
+    "e7a": {"rates": (300,), "seeds": (1,)},
+    "e7b": {"windows": (0.5, 2.0), "seeds": (1,)},
+    "e7c": {"budgets": (1, 2)},
+    "e7d": {"probabilities": (1.0, 0.05), "rates": (400.0,), "seeds": (1,)},
+    "e8": {"seeds": (1,)},
+    "e9": {"losses": (0.0, 0.05), "seeds": (1,)},
+    "e10": {"seeds": (1,)},
+    "e11": {"rates": (400.0, 8000.0)},
+    "e12": {"rates": (1000.0,), "seeds": (1,)},
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Selective Packet Inspection SYN-flood defense (ICDCSW'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list topologies, defenses, detectors, experiments")
+
+    run = sub.add_parser("run", help="run one scenario")
+    run.add_argument("--topology", default="dumbbell", choices=sorted(TOPOLOGIES))
+    run.add_argument("--defense", default="spi", choices=DEFENSES)
+    run.add_argument("--detector", default="ewma", choices=DETECTORS)
+    run.add_argument("--duration", type=float, default=30.0, help="simulated seconds")
+    run.add_argument("--rate", type=float, default=400.0, help="attack SYN rate (pps)")
+    run.add_argument("--attack-start", type=float, default=5.0)
+    run.add_argument("--no-attack", action="store_true")
+    run.add_argument("--syn-cookies", action="store_true",
+                     help="enable host-side SYN cookies on every stack")
+    run.add_argument("--link-loss", type=float, default=0.0,
+                     help="random per-packet loss probability on every link")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--json", action="store_true", help="machine-readable output")
+    run.add_argument("--save", metavar="PATH",
+                     help="write the assembled scenario config as JSON and exit")
+    run.add_argument("--config", metavar="PATH",
+                     help="load a scenario config saved with --save "
+                          "(other scenario flags are ignored)")
+
+    experiment = sub.add_parser("experiment", help="regenerate an evaluation table")
+    experiment.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
+    experiment.add_argument("--quick", action="store_true",
+                            help="reduced parameters for a fast run")
+    experiment.add_argument("--markdown", action="store_true",
+                            help="emit GitHub markdown instead of aligned text")
+    return parser
+
+
+def _command_list() -> int:
+    print("topologies :", ", ".join(sorted(TOPOLOGIES)))
+    print("defenses   :", ", ".join(DEFENSES))
+    print("detectors  :", ", ".join(DETECTORS))
+    print("experiments:", ", ".join(sorted(ALL_EXPERIMENTS)))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.config:
+        from repro.harness.serialize import load_config
+
+        config = load_config(args.config)
+    else:
+        config = ScenarioConfig(
+            topology=args.topology,
+            defense=args.defense,
+            detector=args.detector,
+            duration_s=args.duration,
+            seed=args.seed,
+            with_attack=not args.no_attack,
+            syn_cookies=args.syn_cookies,
+            link_loss_probability=args.link_loss,
+            workload=WorkloadConfig(
+                attack_rate_pps=args.rate, attack_start_s=args.attack_start
+            ),
+        )
+    if args.save:
+        from repro.harness.serialize import save_config
+
+        save_config(config, args.save)
+        print(f"wrote {args.save}")
+        return 0
+    result = run_scenario(config)
+    timeline = result.timeline()
+    attack_start = config.workload.attack_start_s
+    summary = {
+        "topology": config.topology,
+        "defense": config.defense,
+        "seed": config.seed,
+        "detections": len(result.detection_times()),
+        "time_to_alert_s": timeline.time_to_alert,
+        "time_to_verdict_s": timeline.time_to_verdict,
+        "time_to_mitigation_s": timeline.time_to_mitigation,
+        "success_before_attack": result.success_rate(0, attack_start),
+        "success_after_attack": result.success_rate(
+            attack_start + 5, config.duration_s
+        ),
+        "inspected_fraction": result.inspected_fraction(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    table = Table(f"{config.defense} on {config.topology} (seed {config.seed})",
+                  ["metric", "value"])
+    for key, value in summary.items():
+        if key in ("topology", "defense", "seed"):
+            continue
+        table.add_row(key, value)
+    print(table.to_text())
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    fn = ALL_EXPERIMENTS[args.name]
+    kwargs = QUICK_ARGS.get(args.name, {}) if args.quick else {}
+    table = fn(**kwargs)
+    print(table.to_markdown() if args.markdown else table.to_text())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: Selective Packet Inspection (SPI).
+
+The pipeline: distributed monitors raise cheap anomaly *alerts*; the
+correlator turns an alert into an on-demand *selective inspection* —
+mirror rules scoped to the suspected victim, installed through the SDN
+controller, subject to an OVS inspection *budget* — and the DPI evidence
+is scored against the SYN-flood *signature constituents*.  A confirmed
+signature triggers mitigation; a refuted one suppresses the false alarm.
+"""
+
+from repro.core.config import SpiConfig
+from repro.core.signatures import (
+    ConstituentResult,
+    SignatureReport,
+    SynFloodSignature,
+    SynFloodSignatureConfig,
+    Verdict,
+)
+from repro.core.budget import BudgetConfig, InspectionBudget
+from repro.core.correlator import Correlator, VerificationCase
+from repro.core.spi import SpiStats, SpiSystem
+
+__all__ = [
+    "SpiConfig",
+    "Verdict",
+    "ConstituentResult",
+    "SignatureReport",
+    "SynFloodSignature",
+    "SynFloodSignatureConfig",
+    "InspectionBudget",
+    "BudgetConfig",
+    "Correlator",
+    "VerificationCase",
+    "SpiSystem",
+    "SpiStats",
+]

@@ -1,0 +1,234 @@
+"""SYN-flood signature constituents and the verdict function.
+
+The paper's phrase "signature constituents" names the idea that an attack
+signature decomposes into parts visible at different vantage points: the
+monitor sees the *volume* constituent (abnormal SYN rate) cheaply; only
+deep inspection can see the *incompleteness* constituent (handshakes that
+never finish) and the *dispersion* constituent (a wide, unresponsive
+source population).  The signature confirms only when the deep
+constituents corroborate the volume alarm — that corroboration is what
+buys the paper its "high accuracy" under flash crowds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.inspection.tracker import HandshakeEvidence
+from repro.inspection.udp import UdpEvidence
+
+
+class Verdict(enum.Enum):
+    """Outcome of scoring evidence against the signature."""
+
+    CONFIRMED = "confirmed"
+    REFUTED = "refuted"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class ConstituentResult:
+    """One signature constituent's evaluation."""
+
+    name: str
+    value: float
+    threshold: float
+    triggered: bool
+
+
+@dataclass(frozen=True)
+class SignatureReport:
+    """Full scoring output handed to the correlator.
+
+    ``syn_total`` generalizes to "attack-relevant packets observed" for
+    non-TCP signatures (the UDP signature reports datagram counts there);
+    ``completion_ratio`` is 1.0 where the concept does not apply.
+    """
+
+    verdict: Verdict
+    constituents: tuple[ConstituentResult, ...]
+    syn_total: int
+    completion_ratio: float
+    source_count: int
+    attacker_sources: tuple[str, ...] = ()
+    suspect_sources: tuple[str, ...] = ()
+    completed_sources: tuple[str, ...] = ()
+    signature: str = "tcp-syn-flood"
+
+    def constituent(self, name: str) -> ConstituentResult:
+        """Look up a constituent by name."""
+        for result in self.constituents:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class SynFloodSignatureConfig:
+    """Signature thresholds.
+
+    The confirm/refute band on completion ratio creates a deliberate
+    inconclusive region: benign congestion can push completions down
+    somewhat, so a middling ratio extends the inspection window rather
+    than firing mitigation — the "careful verification" of the abstract.
+    """
+
+    min_syn_observations: int = 20
+    confirm_completion_below: float = 0.35
+    refute_completion_above: float = 0.75
+    min_attack_syn_rate: float = 20.0
+    dispersion_min_sources: int = 10
+    # A benign client begins at most a few handshakes per window; a
+    # non-spoofed flooder begins hundreds.  Sources at or above this SYN
+    # count with zero completions are individually blockable.
+    attacker_min_syns: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.confirm_completion_below <= self.refute_completion_above <= 1:
+            raise ValueError("need 0 <= confirm <= refute <= 1")
+        if self.min_syn_observations < 1:
+            raise ValueError("min observations must be >= 1")
+
+
+class SynFloodSignature:
+    """Scores handshake evidence against the SYN-flood signature."""
+
+    name = "tcp-syn-flood"
+
+    def __init__(self, config: SynFloodSignatureConfig | None = None) -> None:
+        self.config = config or SynFloodSignatureConfig()
+
+    def evaluate(self, evidence: HandshakeEvidence) -> SignatureReport:
+        """Produce a verdict from one inspection window's evidence."""
+        cfg = self.config
+        duration = max(evidence.duration, 1e-9)
+        syn_rate = evidence.syn_total / duration
+        completion = evidence.completion_ratio
+        attacker_sources = tuple(evidence.attacker_sources(cfg.attacker_min_syns))
+        suspect_sources = tuple(evidence.suspect_sources(cfg.attacker_min_syns))
+
+        volume = ConstituentResult(
+            name="volume",
+            value=syn_rate,
+            threshold=cfg.min_attack_syn_rate,
+            triggered=syn_rate >= cfg.min_attack_syn_rate,
+        )
+        incompleteness = ConstituentResult(
+            name="incompleteness",
+            value=completion,
+            threshold=cfg.confirm_completion_below,
+            triggered=completion <= cfg.confirm_completion_below,
+        )
+        zero_completion_population = len(attacker_sources) + len(suspect_sources)
+        dispersion = ConstituentResult(
+            name="dispersion",
+            value=float(zero_completion_population),
+            threshold=float(cfg.dispersion_min_sources),
+            triggered=zero_completion_population >= cfg.dispersion_min_sources,
+        )
+        constituents = (volume, incompleteness, dispersion)
+
+        if evidence.syn_total < cfg.min_syn_observations:
+            # Not enough traffic observed yet to judge either way.
+            verdict = Verdict.INCONCLUSIVE
+        elif volume.triggered and incompleteness.triggered:
+            verdict = Verdict.CONFIRMED
+        elif completion >= cfg.refute_completion_above or not volume.triggered:
+            verdict = Verdict.REFUTED
+        else:
+            verdict = Verdict.INCONCLUSIVE
+
+        return SignatureReport(
+            verdict=verdict,
+            constituents=constituents,
+            syn_total=evidence.syn_total,
+            completion_ratio=completion,
+            source_count=evidence.source_count,
+            attacker_sources=attacker_sources,
+            suspect_sources=suspect_sources,
+            completed_sources=tuple(evidence.completed_sources()),
+        )
+
+
+@dataclass(frozen=True)
+class UdpFloodSignatureConfig:
+    """UDP volumetric signature thresholds.
+
+    UDP has no handshake, so the signature is volume + structure: a
+    sustained datagram rate toward one destination, concentrated on one
+    or a few ports, from a wide source population (spoofing) or from a
+    small number of very heavy senders.
+    """
+
+    min_packet_observations: int = 30
+    min_attack_packet_rate: float = 100.0
+    min_top_port_share: float = 0.5
+    dispersion_min_sources: int = 10
+    attacker_min_packets: int = 20
+
+    def __post_init__(self) -> None:
+        if self.min_packet_observations < 1:
+            raise ValueError("min observations must be >= 1")
+        if not 0 < self.min_top_port_share <= 1:
+            raise ValueError("top-port share must be in (0, 1]")
+
+
+class UdpFloodSignature:
+    """Scores UDP volumetric evidence against the flood signature."""
+
+    name = "udp-flood"
+
+    def __init__(self, config: UdpFloodSignatureConfig | None = None) -> None:
+        self.config = config or UdpFloodSignatureConfig()
+
+    def evaluate(self, evidence: UdpEvidence) -> SignatureReport:
+        """Produce a verdict from one inspection window's UDP evidence."""
+        cfg = self.config
+        rate = evidence.packet_rate
+        attackers = tuple(evidence.heavy_sources(cfg.attacker_min_packets))
+        suspects = tuple(evidence.light_sources(cfg.attacker_min_packets))
+
+        volume = ConstituentResult(
+            name="volume",
+            value=rate,
+            threshold=cfg.min_attack_packet_rate,
+            triggered=rate >= cfg.min_attack_packet_rate,
+        )
+        concentration = ConstituentResult(
+            name="port-concentration",
+            value=evidence.top_port_share,
+            threshold=cfg.min_top_port_share,
+            triggered=evidence.top_port_share >= cfg.min_top_port_share,
+        )
+        dispersion = ConstituentResult(
+            name="dispersion",
+            value=float(evidence.source_count),
+            threshold=float(cfg.dispersion_min_sources),
+            triggered=(
+                evidence.source_count >= cfg.dispersion_min_sources
+                or len(attackers) > 0
+            ),
+        )
+        constituents = (volume, concentration, dispersion)
+
+        if evidence.packet_total < cfg.min_packet_observations:
+            verdict = Verdict.INCONCLUSIVE if evidence.packet_total else Verdict.REFUTED
+        elif volume.triggered and concentration.triggered and dispersion.triggered:
+            verdict = Verdict.CONFIRMED
+        elif not volume.triggered:
+            verdict = Verdict.REFUTED
+        else:
+            verdict = Verdict.INCONCLUSIVE
+
+        return SignatureReport(
+            verdict=verdict,
+            constituents=constituents,
+            syn_total=evidence.packet_total,
+            completion_ratio=1.0,
+            source_count=evidence.source_count,
+            attacker_sources=attackers,
+            suspect_sources=suspects,
+            completed_sources=(),
+            signature=self.name,
+        )

@@ -1,0 +1,22 @@
+"""Experiment harness: scenario configs, runner, sweeps, experiment suite."""
+
+from repro.harness.scenario import (
+    FlashCrowdSpec,
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.harness.serialize import load_config, save_config
+from repro.harness.sweep import apply_overrides, grid, run_sweep
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "FlashCrowdSpec",
+    "run_scenario",
+    "run_sweep",
+    "grid",
+    "apply_overrides",
+    "save_config",
+    "load_config",
+]

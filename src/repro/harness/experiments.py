@@ -1,0 +1,847 @@
+"""The reconstructed evaluation suite (experiments E1-E7).
+
+Each ``run_eN`` function regenerates one table/figure of the
+reconstructed evaluation (see DESIGN.md for the index and EXPERIMENTS.md
+for paper-shape vs measured values) and returns a
+:class:`repro.metrics.report.Table`.  The benchmark harnesses under
+``benchmarks/`` and the examples call these functions; keeping them here
+guarantees the numbers in docs, benches and examples come from one code
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.core.budget import BudgetConfig
+from repro.core.config import SpiConfig
+from repro.core.signatures import SynFloodSignatureConfig
+from repro.harness.scenario import FlashCrowdSpec, ScenarioConfig, run_scenario
+from repro.harness.sweep import apply_overrides
+from repro.metrics.detection import classify_detections
+from repro.metrics.recorder import summarize
+from repro.metrics.report import Table
+from repro.workload.profiles import WorkloadConfig
+
+# A compact base scenario shared by most experiments: dumbbell topology,
+# benign web mix, spoofed SYN flood starting at t=5s.
+BASE = ScenarioConfig(
+    topology="dumbbell",
+    topology_params={"n_clients": 4, "n_attackers": 2},
+    duration_s=30.0,
+    defense="spi",
+    detector="ewma",
+    workload=WorkloadConfig(
+        attack_rate_pps=300.0,
+        attack_start_s=5.0,
+        attack_duration_s=1000.0,
+        server_backlog=64,
+    ),
+)
+
+
+def run_e1_response_time(
+    rates: Sequence[float] = (50, 100, 200, 400, 800, 1600),
+    seeds: Sequence[int] = (1, 2, 3),
+) -> Table:
+    """E1: detection & mitigation response time vs attack rate.
+
+    Reproduces the response-time table: time from attack start to the
+    monitor alert, to the verified verdict, and to mitigation rules
+    installed, as the flood rate varies.
+    """
+    table = Table(
+        "E1: response time vs attack rate",
+        ["rate_pps", "t_alert_s", "t_verdict_s", "t_mitigate_s", "detected"],
+    )
+    for rate in rates:
+        alerts, verdicts, mitigations, detected = [], [], [], 0
+        for seed in seeds:
+            config = apply_overrides(
+                BASE, {"workload.attack_rate_pps": float(rate), "seed": seed}
+            )
+            result = run_scenario(config)
+            timeline = result.timeline()
+            if timeline.time_to_mitigation is not None:
+                detected += 1
+                alerts.append(timeline.time_to_alert)
+                verdicts.append(timeline.time_to_verdict)
+                mitigations.append(timeline.time_to_mitigation)
+        table.add_row(
+            rate,
+            summarize(alerts).mean if alerts else None,
+            summarize(verdicts).mean if verdicts else None,
+            summarize(mitigations).mean if mitigations else None,
+            f"{detected}/{len(seeds)}",
+        )
+    return table
+
+
+def run_e2_accuracy(
+    thresholds: Sequence[float] = (50, 100, 200, 400, 800),
+    attack_rate: float = 500.0,
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E2: detection accuracy vs monitor threshold, monitor-only vs SPI.
+
+    Each run contains a flash crowd (benign burst, a false-positive
+    opportunity) and a real flood.  The monitor-only defense converts
+    every alert to a detection; SPI verifies first.  The figure's shape:
+    monitor-only trades TPR against FPR as the threshold moves, while
+    SPI holds TPR with ~zero FPR across a wide threshold band.
+    """
+    table = Table(
+        "E2: accuracy vs threshold",
+        ["threshold", "defense", "tp", "fp", "fn", "precision", "recall", "f1"],
+    )
+    for threshold in thresholds:
+        for defense in ("monitor-only", "spi"):
+            counts_total = None
+            for seed in seeds:
+                config = apply_overrides(
+                    BASE,
+                    {
+                        "defense": defense,
+                        "detector": "static",
+                        "detector_params": {"syn_rate_threshold": float(threshold)},
+                        "workload.attack_rate_pps": attack_rate,
+                        "workload.attack_start_s": 20.0,
+                        "workload.attack_duration_s": 8.0,
+                        "duration_s": 32.0,
+                        "flash_crowd": FlashCrowdSpec(
+                            start_s=6.0, duration_s=6.0, connections_per_second=200.0
+                        ),
+                        "seed": seed,
+                    },
+                )
+                result = run_scenario(config)
+                counts, _ = classify_detections(
+                    result.detection_times(),
+                    [result.attack_window],
+                    grace_s=3.0,
+                )
+                if counts_total is None:
+                    counts_total = counts
+                else:
+                    counts_total.tp += counts.tp
+                    counts_total.fp += counts.fp
+                    counts_total.fn += counts.fn
+            assert counts_total is not None
+            table.add_row(
+                threshold,
+                defense,
+                counts_total.tp,
+                counts_total.fp,
+                counts_total.fn,
+                counts_total.precision,
+                counts_total.recall,
+                counts_total.f1,
+            )
+    return table
+
+
+def run_e3_workload(
+    rates: Sequence[float] = (100, 300, 900),
+    seed: int = 1,
+) -> Table:
+    """E3: OVS inspection workload — selective vs always-on vs sampled.
+
+    The figure's shape: always-on inspects 100% of packets at every
+    rate; sampled inspects its duty fraction; SPI inspects only the
+    suspicious aggregate for only the verification window, a small and
+    rate-insensitive fraction.
+    """
+    table = Table(
+        "E3: inspection workload",
+        [
+            "rate_pps",
+            "defense",
+            "inspected_fraction",
+            "mirror_cpu_share",
+            "switch_busy_ms",
+            "detected",
+        ],
+    )
+    for rate in rates:
+        for defense in ("spi", "always-on", "sampled"):
+            config = apply_overrides(
+                BASE,
+                {
+                    "defense": defense,
+                    "workload.attack_rate_pps": float(rate),
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            table.add_row(
+                rate,
+                defense,
+                result.inspected_fraction(),
+                result.switch_inspection_share(),
+                result.switch_busy_seconds() * 1000,
+                len(result.detection_times()) > 0,
+            )
+    return table
+
+
+def run_e4_mitigation(
+    attack_rate: float = 400.0,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> Table:
+    """E4: benign service protection under attack.
+
+    The figure's shape: benign success collapses under an undefended
+    flood (backlog exhaustion) and recovers to near-clean levels once
+    SPI mitigates; connect latency follows the same pattern.
+    """
+    table = Table(
+        "E4: benign service under attack",
+        [
+            "condition",
+            "success_pre",
+            "success_attack",
+            "success_post_mitigation",
+            "mean_latency_ms",
+        ],
+    )
+    conditions = (
+        ("no-attack", "none", False),
+        ("attack-undefended", "none", True),
+        ("attack-spi", "spi", True),
+    )
+    for label, defense, with_attack in conditions:
+        pre, during, post, latencies = [], [], [], []
+        for seed in seeds:
+            config = apply_overrides(
+                BASE,
+                {
+                    "defense": defense,
+                    "with_attack": with_attack,
+                    "workload.attack_rate_pps": attack_rate,
+                    "duration_s": 40.0,
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            attack_start = config.workload.attack_start_s
+            pre.append(result.success_rate(0, attack_start))
+            during.append(result.success_rate(attack_start, attack_start + 5))
+            post.append(result.success_rate(attack_start + 10, 40.0))
+            latencies.extend(result.workload.client_latencies(attack_start + 10, 40.0))
+        n = len(seeds)
+        table.add_row(
+            label,
+            sum(pre) / n,
+            sum(during) / n,
+            sum(post) / n,
+            (sum(latencies) / len(latencies) * 1000) if latencies else None,
+        )
+    return table
+
+
+def run_e5_scalability(
+    sizes: Sequence[int] = (2, 4, 8, 16),
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E5: detection/mitigation time vs topology size (linear chains).
+
+    The table's shape: both times grow mildly (per-hop propagation and
+    control-channel fan-out), never explosively, with switch count.
+    """
+    table = Table(
+        "E5: scalability with topology size",
+        ["switches", "t_alert_s", "t_mitigate_s", "controller_msgs", "flow_mods"],
+    )
+    for size in sizes:
+        alerts, mitigations, msgs, mods = [], [], [], []
+        for seed in seeds:
+            config = apply_overrides(
+                BASE,
+                {
+                    "topology": "linear",
+                    "topology_params": {
+                        "n_switches": int(size),
+                        "clients_per_switch": 1,
+                        "n_attackers": 1,
+                    },
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            timeline = result.timeline()
+            if timeline.time_to_mitigation is not None:
+                alerts.append(timeline.time_to_alert)
+                mitigations.append(timeline.time_to_mitigation)
+            msgs.append(result.net.controller.messages_received)
+            mods.append(
+                sum(sw.counters.flow_mods for sw in result.net.switches.values())
+            )
+        table.add_row(
+            size,
+            summarize(alerts).mean if alerts else None,
+            summarize(mitigations).mean if mitigations else None,
+            sum(msgs) / len(msgs),
+            sum(mods) / len(mods),
+        )
+    return table
+
+
+def run_e6_flashcrowd(
+    crowd_rates: Sequence[float] = (100, 200, 400),
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E6: false alarms under flash crowds.
+
+    The figure's shape: the monitor tier alerts on the crowd (false
+    alarms rise with crowd intensity) but verification refutes them, so
+    SPI's verified detections stay at zero and benign service is never
+    mitigated against; a genuine flood in the same run still confirms.
+    """
+    table = Table(
+        "E6: flash crowd false-alarm suppression",
+        [
+            "crowd_cps",
+            "monitor_alerts",
+            "verified_detections",
+            "refuted",
+            "crowd_success_rate",
+            "flood_confirmed",
+        ],
+    )
+    for rate in crowd_rates:
+        alerts = verified = refuted = confirmed = 0
+        crowd_success = []
+        for seed in seeds:
+            config = apply_overrides(
+                BASE,
+                {
+                    "detector": "static",
+                    "detector_params": {"syn_rate_threshold": 60.0},
+                    "flash_crowd": FlashCrowdSpec(
+                        start_s=6.0, duration_s=6.0, connections_per_second=float(rate)
+                    ),
+                    "workload.attack_start_s": 20.0,
+                    "workload.attack_duration_s": 8.0,
+                    "duration_s": 32.0,
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            tracer = result.net.tracer
+            crowd_end = 12.0
+            alerts += sum(1 for e in tracer.entries("spi.alert") if e.time < crowd_end + 2)
+            verified += sum(
+                1 for e in tracer.entries("spi.confirmed") if e.time < crowd_end + 2
+            )
+            refuted += sum(1 for e in tracer.entries("spi.refuted"))
+            confirmed += sum(
+                1 for e in tracer.entries("spi.confirmed") if e.time >= 20.0
+            )
+            assert result.flash_crowd is not None
+            started = result.flash_crowd.connections_started
+            completed = result.flash_crowd.connections_completed
+            crowd_success.append(completed / started if started else 1.0)
+        table.add_row(
+            rate,
+            alerts,
+            verified,
+            refuted,
+            sum(crowd_success) / len(crowd_success),
+            f"{confirmed}/{len(seeds)}",
+        )
+    return table
+
+
+def run_e7_detector_ablation(
+    rates: Sequence[float] = (60, 300),
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E7a: detector family ablation.
+
+    CUSUM and EWMA catch low-rate ramps earlier than the static
+    threshold; entropy keys on spoofing rather than volume.
+    """
+    table = Table(
+        "E7a: detector family ablation",
+        ["rate_pps", "detector", "t_alert_s", "t_mitigate_s", "detected"],
+    )
+    families: dict[str, dict] = {
+        "static": {"syn_rate_threshold": 100.0},
+        "adaptive": {},
+        "ewma": {},
+        "cusum": {},
+        "entropy": {},
+    }
+    for rate in rates:
+        for family, params in families.items():
+            alerts, mitigations, detected = [], [], 0
+            for seed in seeds:
+                config = apply_overrides(
+                    BASE,
+                    {
+                        "detector": family,
+                        "detector_params": params,
+                        "workload.attack_rate_pps": float(rate),
+                        "workload.attack_ramp_s": 4.0,
+                        "seed": seed,
+                    },
+                )
+                result = run_scenario(config)
+                timeline = result.timeline()
+                if timeline.time_to_mitigation is not None:
+                    detected += 1
+                    alerts.append(timeline.time_to_alert)
+                    mitigations.append(timeline.time_to_mitigation)
+            table.add_row(
+                rate,
+                family,
+                summarize(alerts).mean if alerts else None,
+                summarize(mitigations).mean if mitigations else None,
+                f"{detected}/{len(seeds)}",
+            )
+    return table
+
+
+def run_e7_window_ablation(
+    windows: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E7b: verification window ablation.
+
+    Longer windows cost latency but gather more evidence per verdict;
+    very short windows risk inconclusive extensions.
+    """
+    table = Table(
+        "E7b: verification window ablation",
+        ["window_s", "t_mitigate_s", "syn_evidence", "extensions", "detected"],
+    )
+    for window in windows:
+        mitigations, evidence, extensions, detected = [], [], 0, 0
+        for seed in seeds:
+            config = apply_overrides(
+                BASE, {"spi.verification_window_s": float(window), "seed": seed}
+            )
+            result = run_scenario(config)
+            timeline = result.timeline()
+            if timeline.time_to_mitigation is not None:
+                detected += 1
+                mitigations.append(timeline.time_to_mitigation)
+            assert result.spi is not None and result.spi.correlator is not None
+            for case in result.spi.correlator.cases:
+                extensions += case.extensions_used
+                if case.report is not None:
+                    evidence.append(case.report.syn_total)
+        table.add_row(
+            window,
+            summarize(mitigations).mean if mitigations else None,
+            summarize([float(e) for e in evidence]).mean if evidence else None,
+            extensions,
+            f"{detected}/{len(seeds)}",
+        )
+    return table
+
+
+def run_e7_budget_ablation(
+    budgets: Sequence[int] = (1, 2, 4),
+    n_victims: int = 3,
+    seed: int = 1,
+) -> Table:
+    """E7c: inspection budget ablation under simultaneous victims.
+
+    Several servers are flooded at once; a small budget serializes
+    verification (later victims wait in the queue), a larger budget
+    parallelizes it.  The reported number is the worst-case time to
+    mitigation across victims.
+    """
+    from repro.core.spi import SpiSystem
+    from repro.monitor.detectors import EwmaDetector
+    from repro.topology.builder import Network
+    from repro.workload.attacker import AttackSchedule, SynFloodAttacker, SynFloodConfig
+    from repro.workload.servers import WebServer
+
+    table = Table(
+        "E7c: inspection budget ablation",
+        ["budget", "victims", "worst_t_mitigate_s", "mean_t_mitigate_s", "queued"],
+    )
+    for budget in budgets:
+        net = Network(seed=seed)
+        net.add_switch("s1")
+        servers = []
+        for i in range(n_victims):
+            name = f"srv{i + 1}"
+            net.add_host(name)
+            net.link(name, "s1")
+            servers.append(name)
+        for i in range(n_victims):
+            name = f"atk{i + 1}"
+            net.add_host(name)
+            net.link(name, "s1")
+        net.finalize()
+        spi = SpiSystem(
+            net,
+            SpiConfig(budget=BudgetConfig(max_concurrent=budget, max_queue=8)),
+        )
+        spi.deploy_inspector("s1")
+        spi.deploy_monitor("s1", EwmaDetector())
+        web_servers = [WebServer(net.stack(s), backlog=64) for s in servers]
+        attackers = []
+        for i, server in enumerate(web_servers):
+            attacker = SynFloodAttacker(
+                net.hosts[f"atk{i + 1}"],
+                net.rng.child(f"atk{i + 1}"),
+                SynFloodConfig(
+                    victim_ip=server.ip,
+                    rate_pps=250.0,
+                    schedule=AttackSchedule(start_s=5.0),
+                ),
+            )
+            attacker.start()
+            attackers.append(attacker)
+        net.run(until=40.0)
+        spi.stop()
+        net.stop()
+        # First mitigation per victim only: rules expire and re-install
+        # for persistent floods, which is not the quantity under test.
+        first_by_victim: dict[str, float] = {}
+        for entry in net.tracer.entries("mitigation.installed"):
+            victim = entry.data.get("victim", "?")
+            first_by_victim.setdefault(victim, entry.time - 5.0)
+        times = list(first_by_victim.values())
+        table.add_row(
+            budget,
+            f"{len(times)}/{n_victims}",
+            max(times) if times else None,
+            (sum(times) / len(times)) if times else None,
+            spi.stats.inspections_queued,
+        )
+    return table
+
+
+def run_e7_sampling_ablation(
+    probabilities: Sequence[float] = (1.0, 0.25, 0.05, 0.01),
+    rates: Sequence[float] = (100.0, 800.0),
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E7d: monitor sampling-rate ablation.
+
+    Monitors sample (sFlow-style) to stay cheap; the extractor rescales
+    counts by the inverse probability, so detection should survive
+    aggressive sampling at high attack rates and only degrade when the
+    expected samples-per-window approaches zero.
+    """
+    table = Table(
+        "E7d: monitor sampling ablation",
+        ["sampling_p", "rate_pps", "detected_runs", "t_alert_s", "t_mitigate_s"],
+    )
+    for probability in probabilities:
+        for rate in rates:
+            detected = 0
+            alerts: list[float] = []
+            mitigations: list[float] = []
+            for seed in seeds:
+                config = apply_overrides(
+                    BASE,
+                    {
+                        "spi.monitor.sampling_probability": float(probability),
+                        "workload.attack_rate_pps": float(rate),
+                        "seed": seed,
+                    },
+                )
+                result = run_scenario(config)
+                timeline = result.timeline()
+                if timeline.time_to_mitigation is not None:
+                    detected += 1
+                    alerts.append(timeline.time_to_alert)
+                    mitigations.append(timeline.time_to_mitigation)
+            table.add_row(
+                probability,
+                rate,
+                f"{detected}/{len(seeds)}",
+                summarize(alerts).mean if alerts else None,
+                summarize(mitigations).mean if mitigations else None,
+            )
+    return table
+
+
+def run_e8_pulsing(
+    pulse_rate: float = 800.0,
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E8 (extension): pulsing (on-off) flood vs inspection scheduling.
+
+    A 1s-on/4s-off pulsed flood is the classic evasion against
+    duty-cycled inspection: pulses that land in the off-phase are
+    invisible.  Alert-driven selective inspection keys on the monitor,
+    which sees every pulse.  The table reports whether each defense
+    detects and how fast.
+    """
+    table = Table(
+        "E8: pulsing flood (1s on / 4s off)",
+        ["defense", "detected_runs", "first_detection_s", "success_tail"],
+    )
+    for defense in ("spi", "sampled", "flow-stats"):
+        detected = 0
+        first: list[float] = []
+        tails: list[float] = []
+        for seed in seeds:
+            config = apply_overrides(
+                BASE,
+                {
+                    "defense": defense,
+                    "workload.attack_rate_pps": pulse_rate,
+                    # Start at t=7 so the 1s pulses (7-8, 12-13, ...) are
+                    # anti-aligned with the sampled baseline's on-phases
+                    # (5-6, 10-11, ...): the classic evasion.
+                    "workload.attack_start_s": 7.0,
+                    "workload.attack_pulse_on_s": 1.0,
+                    "workload.attack_pulse_off_s": 4.0,
+                    "duration_s": 40.0,
+                    "sampled_period_s": 5.0,
+                    "sampled_duty": 0.2,
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            times = [t for t in result.detection_times() if t >= 7.0]
+            if times:
+                detected += 1
+                first.append(times[0] - 7.0)
+            tails.append(result.success_rate(25.0, 40.0))
+        table.add_row(
+            defense,
+            f"{detected}/{len(seeds)}",
+            summarize(first).mean if first else None,
+            sum(tails) / len(tails),
+        )
+    return table
+
+
+def run_e9_link_loss(
+    losses: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E9 (extension): detection robustness under random packet loss.
+
+    Loss thins both the monitor's samples and the DPI mirror stream.
+    The signature evidence is statistical, so detection should survive
+    realistic loss rates with, at worst, modest extra latency.
+    """
+    table = Table(
+        "E9: robustness to link loss",
+        ["loss", "detected_runs", "t_mitigate_s", "success_post"],
+    )
+    for loss in losses:
+        detected = 0
+        mitigations: list[float] = []
+        post: list[float] = []
+        for seed in seeds:
+            config = apply_overrides(
+                BASE,
+                {
+                    "link_loss_probability": float(loss),
+                    "workload.attack_rate_pps": 400.0,
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            timeline = result.timeline()
+            if timeline.time_to_mitigation is not None:
+                detected += 1
+                mitigations.append(timeline.time_to_mitigation)
+            post.append(result.success_rate(12.0, 30.0))
+        table.add_row(
+            loss,
+            f"{detected}/{len(seeds)}",
+            summarize(mitigations).mean if mitigations else None,
+            sum(post) / len(post),
+        )
+    return table
+
+
+def run_e10_monitor_placement(
+    per_attacker_rate: float = 90.0,
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E10 (extension): where to put the monitors.
+
+    Star topology, four attackers spread over four arms, each sending
+    slowly enough that no single edge switch sees a flood-like rate; the
+    aggregate at the victim's switch is unmistakable.  Victim-edge (or
+    core) monitoring aggregates the evidence; attacker-edge monitors see
+    only their slice and a high static threshold misses it.
+    """
+    table = Table(
+        "E10: monitor placement (distributed 4-arm attack)",
+        ["placement", "alerts", "detected_runs", "t_mitigate_s"],
+    )
+    placements = {
+        "victim-edge": ("core",),
+        "attacker-edges": ("edge1", "edge2", "edge3", "edge4"),
+        "everywhere": ("core", "edge1", "edge2", "edge3", "edge4"),
+    }
+    for label, switches in placements.items():
+        alerts = 0
+        detected = 0
+        mitigations: list[float] = []
+        for seed in seeds:
+            config = apply_overrides(
+                BASE,
+                {
+                    "topology": "star",
+                    "topology_params": {
+                        "n_arms": 4, "clients_per_arm": 1, "n_attackers": 4
+                    },
+                    "detector": "static",
+                    # Above any single arm's rate, below the aggregate.
+                    "detector_params": {"syn_rate_threshold": 2.0 * per_attacker_rate},
+                    "workload.attack_rate_pps": 4 * per_attacker_rate,
+                    "monitor_switches": switches,
+                    "inspector_switch": "core",
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            alerts += len(result.alert_times())
+            timeline = result.timeline()
+            if timeline.time_to_mitigation is not None:
+                detected += 1
+                mitigations.append(timeline.time_to_mitigation)
+        table.add_row(
+            label,
+            alerts,
+            f"{detected}/{len(seeds)}",
+            summarize(mitigations).mean if mitigations else None,
+        )
+    return table
+
+
+def run_e11_host_vs_network_defense(
+    rates: Sequence[float] = (400.0, 8000.0),
+    seed: int = 1,
+) -> Table:
+    """E11 (extension): SYN cookies (host) vs SPI (network) vs both.
+
+    SYN cookies make the backlog unexhaustible, so they protect the
+    handshake at any rate the links can carry — but the flood still
+    traverses and loads the network.  At volumetric rates the core link
+    saturates and cookies alone cannot save benign traffic; SPI removes
+    the flood at its ingress edge.  The dumbbell core is throttled to
+    make the crossover visible.
+    """
+    table = Table(
+        "E11: host-side vs network-side defense",
+        ["rate_pps", "defense", "success_post", "core_drop_rate", "flood_crosses_core"],
+    )
+    conditions = (
+        ("syn-cookies", "none", True),
+        ("spi", "spi", False),
+        ("both", "spi", True),
+    )
+    for rate in rates:
+        for label, defense, cookies in conditions:
+            config = apply_overrides(
+                BASE,
+                {
+                    "defense": defense,
+                    "syn_cookies": cookies,
+                    "workload.attack_rate_pps": float(rate),
+                    "topology_params": {
+                        "n_clients": 4,
+                        "n_attackers": 2,
+                        # A 2 Mbps core saturates near 4600 flood pps
+                        # (54-byte SYNs), exposing the volumetric regime.
+                        "core_bandwidth_bps": 2e6,
+                    },
+                    "duration_s": 25.0,
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            core_link = result.net.links[0]  # dumbbell cables s1-s2 first
+            stats = core_link.stats_for(core_link.a)
+            table.add_row(
+                rate,
+                label,
+                result.success_rate(12.0, 25.0),
+                stats.drop_rate(),
+                # More than ~3 attack-seconds' worth of flood packets
+                # (after a generous allowance for benign traffic) means
+                # the flood ran unmitigated over the core.
+                stats.packets_sent > rate * 3 + 5000,
+            )
+    return table
+
+
+def run_e12_udp_flood(
+    rates: Sequence[float] = (500.0, 1500.0),
+    seeds: Sequence[int] = (1, 2),
+) -> Table:
+    """E12 (extension): UDP volumetric flood through the same pipeline.
+
+    The monitor runs a composite detector (EWMA on SYNs OR a UDP rate
+    threshold); the correlator scores the UDP volumetric signature on
+    the mirrored datagrams; mitigation blocks the spoofed prefix.  The
+    dumbbell core is throttled so the flood actually hurts benign TCP.
+    """
+    table = Table(
+        "E12: UDP flood detection and mitigation",
+        ["rate_pps", "detected_runs", "t_mitigate_s", "success_during", "success_post"],
+    )
+    for rate in rates:
+        detected = 0
+        mitigations: list[float] = []
+        during: list[float] = []
+        post: list[float] = []
+        for seed in seeds:
+            config = apply_overrides(
+                BASE,
+                {
+                    "detector": "udp-rate",
+                    "detector_params": {"udp_rate_threshold": 150.0},
+                    "workload.attack_kind": "udp",
+                    "workload.attack_rate_pps": float(rate),
+                    "workload.udp_payload_bytes": 512,
+                    "topology_params": {
+                        "n_clients": 4,
+                        "n_attackers": 2,
+                        "core_bandwidth_bps": 10e6,
+                    },
+                    "duration_s": 30.0,
+                    "seed": seed,
+                },
+            )
+            result = run_scenario(config)
+            timeline = result.timeline()
+            if timeline.time_to_mitigation is not None:
+                detected += 1
+                mitigations.append(timeline.time_to_mitigation)
+            during.append(result.success_rate(5.0, 8.0))
+            post.append(result.success_rate(12.0, 30.0))
+        table.add_row(
+            rate,
+            f"{detected}/{len(seeds)}",
+            summarize(mitigations).mean if mitigations else None,
+            sum(during) / len(during),
+            sum(post) / len(post),
+        )
+    return table
+
+
+ALL_EXPERIMENTS = {
+    "e1": run_e1_response_time,
+    "e2": run_e2_accuracy,
+    "e3": run_e3_workload,
+    "e4": run_e4_mitigation,
+    "e5": run_e5_scalability,
+    "e6": run_e6_flashcrowd,
+    "e7a": run_e7_detector_ablation,
+    "e7b": run_e7_window_ablation,
+    "e7c": run_e7_budget_ablation,
+    "e7d": run_e7_sampling_ablation,
+    "e8": run_e8_pulsing,
+    "e9": run_e9_link_loss,
+    "e10": run_e10_monitor_placement,
+    "e11": run_e11_host_vs_network_defense,
+    "e12": run_e12_udp_flood,
+}

@@ -1,0 +1,308 @@
+"""Scenario configuration and the single-run experiment driver.
+
+``run_scenario`` assembles a topology, a workload (optionally with a
+flash crowd), one of the five defenses (``spi`` / ``monitor-only`` /
+``always-on`` / ``sampled`` / ``none``) and runs the simulation,
+returning a :class:`ScenarioResult` with uniform accessors for the
+quantities every experiment reports: detection times, benign service
+quality per phase, inspection workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.baselines.always_on import AlwaysOnDpi
+from repro.baselines.flowstats import FlowStatsDefense
+from repro.baselines.sampled import SampledDpi
+from repro.baselines.threshold_only import MonitorOnlyDefense
+from repro.core.config import SpiConfig
+from repro.core.spi import SpiSystem
+from repro.metrics.detection import DetectionTimeline, extract_timeline
+from repro.mitigation.manager import MitigationConfig, MitigationManager, MitigationMode
+from repro.monitor.detectors import make_detector
+from repro.topology import standard
+from repro.topology.builder import Network
+from repro.topology.standard import Roles
+from repro.workload.flashcrowd import FlashCrowd, FlashCrowdConfig
+from repro.workload.profiles import StandardWorkload, WorkloadConfig
+
+TOPOLOGIES = {
+    "single": standard.single_switch,
+    "dumbbell": standard.dumbbell,
+    "star": standard.star,
+    "linear": standard.linear,
+    "tree": standard.tree,
+    "fat_tree": standard.fat_tree,
+    "random_tree": standard.random_tree,
+}
+
+DEFENSES = ("spi", "monitor-only", "always-on", "sampled", "flow-stats", "none")
+
+
+@dataclass(frozen=True)
+class FlashCrowdSpec:
+    """Optional flash-crowd phase inside a scenario."""
+
+    start_s: float = 8.0
+    duration_s: float = 6.0
+    connections_per_second: float = 150.0
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything one experiment run needs."""
+
+    topology: str = "dumbbell"
+    topology_params: dict[str, Any] = field(default_factory=dict)
+    seed: int = 1
+    duration_s: float = 30.0
+    defense: str = "spi"
+    detector: str = "ewma"
+    detector_params: dict[str, Any] = field(default_factory=dict)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    spi: SpiConfig = field(default_factory=SpiConfig)
+    with_attack: bool = True
+    # Failure injection: random per-packet loss on every link (E9).
+    link_loss_probability: float = 0.0
+    # Host-side defense: SYN cookies on every TCP stack (E11 baseline).
+    syn_cookies: bool = False
+    flash_crowd: Optional[FlashCrowdSpec] = None
+    # Baseline knobs.
+    sampled_period_s: float = 5.0
+    sampled_duty: float = 0.2
+    flowstats_poll_s: float = 1.0
+    flowstats_pps_threshold: float = 200.0
+    baseline_mitigates: bool = True
+    # Placement: None means "the victim's edge switch".
+    monitor_switches: tuple[str, ...] | None = None
+    inspector_switch: str | None = None
+    # Attach a time-series probe (figure generation); see harness.probe.
+    probe: bool = False
+    probe_period_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; choose from {sorted(TOPOLOGIES)}"
+            )
+        if self.defense not in DEFENSES:
+            raise ValueError(f"unknown defense {self.defense!r}; choose from {DEFENSES}")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+
+
+@dataclass
+class ScenarioResult:
+    """A finished run plus uniform metric accessors."""
+
+    config: ScenarioConfig
+    net: Network
+    roles: Roles
+    workload: StandardWorkload
+    spi: Optional[SpiSystem] = None
+    monitor_only: Optional[MonitorOnlyDefense] = None
+    tap_dpi: Optional[AlwaysOnDpi] = None
+    flow_stats: Optional[FlowStatsDefense] = None
+    flash_crowd: Optional[FlashCrowd] = None
+    probe: Optional["ScenarioProbe"] = None
+
+    # ------------------------------------------------------------ service
+
+    @property
+    def victim_ip(self) -> str:
+        """The attacked server's address."""
+        return self.workload.victim_ip
+
+    @property
+    def attack_window(self) -> tuple[float, float]:
+        """Ground-truth attack interval (clipped to the run)."""
+        start = self.config.workload.attack_start_s
+        end = min(
+            start + self.config.workload.attack_duration_s, self.config.duration_s
+        )
+        return (start, end)
+
+    def success_rate(self, start: float = 0.0, end: float = float("inf")) -> float:
+        """Benign request success fraction within a phase."""
+        return self.workload.client_success_rate(start, end)
+
+    def mean_latency(self, start: float = 0.0, end: float = float("inf")) -> float:
+        """Mean successful benign request latency within a phase."""
+        latencies = self.workload.client_latencies(start, end)
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    # ---------------------------------------------------------- detection
+
+    def detection_times(self) -> list[float]:
+        """Confirmed detection timestamps for whichever defense ran."""
+        if self.spi is not None:
+            return [e.time for e in self.net.tracer.entries("spi.confirmed")]
+        if self.monitor_only is not None:
+            return self.monitor_only.detection_times()
+        if self.tap_dpi is not None:
+            return self.tap_dpi.detection_times()
+        if self.flow_stats is not None:
+            return self.flow_stats.detection_times()
+        return []
+
+    def alert_times(self) -> list[float]:
+        """Raw (unverified) alert timestamps, where the defense has them."""
+        if self.spi is not None:
+            return [e.time for e in self.net.tracer.entries("spi.alert")]
+        if self.monitor_only is not None:
+            return self.monitor_only.detection_times()
+        return []
+
+    def timeline(self) -> DetectionTimeline:
+        """E1 milestones relative to attack start."""
+        return extract_timeline(self.net.tracer, self.config.workload.attack_start_s)
+
+    # ----------------------------------------------------------- workload
+
+    def inspected_fraction(self) -> float:
+        """Share of datapath packets that were deep-inspected."""
+        if self.tap_dpi is not None:
+            return self.tap_dpi.stats.inspected_fraction
+        if self.spi is not None:
+            return self.spi.mirrored_fraction()
+        return 0.0
+
+    def switch_inspection_share(self) -> float:
+        """Fraction of switch CPU busy-time spent on mirroring."""
+        shares = [
+            sw.workload.inspection_share() for sw in self.net.switches.values()
+        ]
+        return sum(shares) / len(shares) if shares else 0.0
+
+    def switch_busy_seconds(self) -> float:
+        """Total CPU busy time across all switches."""
+        return sum(sw.workload.total_busy for sw in self.net.switches.values())
+
+
+def _default_edge(net: Network, roles: Roles) -> str:
+    switch = net.switch_of_host(roles.servers[0])
+    if switch is None:
+        raise RuntimeError("victim host is not attached to a switch")
+    return switch.name
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, run and wrap one scenario."""
+    build = TOPOLOGIES[config.topology]
+    extra: dict[str, Any] = {}
+    if config.link_loss_probability > 0:
+        from repro.topology.builder import LinkSpec
+
+        extra["default_link"] = LinkSpec(
+            loss_probability=config.link_loss_probability
+        )
+    if config.syn_cookies:
+        from repro.tcp.config import TcpConfig
+
+        extra["tcp_config"] = TcpConfig(syn_cookies=True)
+    net, roles = build(seed=config.seed, **config.topology_params, **extra)
+    workload = StandardWorkload(net, roles, config.workload)
+    result = ScenarioResult(config=config, net=net, roles=roles, workload=workload)
+
+    edge = _default_edge(net, roles)
+    monitor_switches = config.monitor_switches or (edge,)
+    inspector_switch = config.inspector_switch or edge
+
+    def new_detector():
+        return make_detector(config.detector, **config.detector_params)
+
+    if config.defense == "spi":
+        spi = SpiSystem(net, config.spi)
+        spi.deploy_inspector(inspector_switch)
+        for switch_name in monitor_switches:
+            spi.deploy_monitor(switch_name, new_detector())
+        result.spi = spi
+    elif config.defense == "monitor-only":
+        manager = None
+        if config.baseline_mitigates:
+            manager = MitigationManager(
+                net.controller,
+                replace(config.spi.mitigation, mode=MitigationMode.SHIELD_VICTIM),
+                net.tracer,
+            )
+        defense = MonitorOnlyDefense(
+            net, mitigation=manager, monitor_config=config.spi.monitor
+        )
+        for switch_name in monitor_switches:
+            defense.deploy_monitor(switch_name, new_detector())
+        result.monitor_only = defense
+    elif config.defense == "always-on":
+        manager = (
+            MitigationManager(net.controller, config.spi.mitigation, net.tracer)
+            if config.baseline_mitigates
+            else None
+        )
+        result.tap_dpi = AlwaysOnDpi(
+            net.switches[inspector_switch],
+            signature_config=config.spi.signature,
+            mitigation=manager,
+        )
+    elif config.defense == "sampled":
+        manager = (
+            MitigationManager(net.controller, config.spi.mitigation, net.tracer)
+            if config.baseline_mitigates
+            else None
+        )
+        result.tap_dpi = SampledDpi(
+            net.switches[inspector_switch],
+            period_s=config.sampled_period_s,
+            duty_fraction=config.sampled_duty,
+            signature_config=config.spi.signature,
+            mitigation=manager,
+        )
+    elif config.defense == "flow-stats":
+        manager = None
+        if config.baseline_mitigates:
+            manager = MitigationManager(
+                net.controller,
+                replace(config.spi.mitigation, mode=MitigationMode.SHIELD_VICTIM),
+                net.tracer,
+            )
+        result.flow_stats = FlowStatsDefense(
+            net,
+            poll_period_s=config.flowstats_poll_s,
+            pps_threshold=config.flowstats_pps_threshold,
+            mitigation=manager,
+        )
+    # "none": no defense.
+
+    if config.flash_crowd is not None:
+        crowd_stacks = [net.stack(name) for name in roles.clients]
+        result.flash_crowd = FlashCrowd(
+            crowd_stacks,
+            net.rng.child("flashcrowd"),
+            FlashCrowdConfig(
+                server_ip=workload.victim_ip,
+                start_s=config.flash_crowd.start_s,
+                duration_s=config.flash_crowd.duration_s,
+                connections_per_second=config.flash_crowd.connections_per_second,
+            ),
+        )
+
+    if config.probe:
+        from repro.harness.probe import ScenarioProbe
+
+        result.probe = ScenarioProbe(net, workload, period_s=config.probe_period_s)
+
+    workload.start(with_attack=config.with_attack)
+    net.run(until=config.duration_s)
+    workload.stop()
+    if result.probe is not None:
+        result.probe.stop()
+    if result.spi is not None:
+        result.spi.stop()
+    if result.monitor_only is not None:
+        result.monitor_only.stop()
+    if result.tap_dpi is not None:
+        result.tap_dpi.stop()
+    if result.flow_stats is not None:
+        result.flow_stats.stop()
+    net.stop()
+    return result

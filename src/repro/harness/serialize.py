@@ -1,0 +1,85 @@
+"""Scenario config serialization: share and replay exact experiments.
+
+``config_to_dict``/``config_from_dict`` round-trip the whole nested
+:class:`ScenarioConfig` tree (dataclasses, enums, tuples) through plain
+JSON-compatible dicts, so a run can be saved next to its results and
+replayed bit-for-bit later (the CLI's ``--save``/``--config`` flags).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any
+
+from repro.harness.scenario import FlashCrowdSpec, ScenarioConfig
+from repro.mitigation.manager import MitigationMode
+
+
+def config_to_dict(config: Any) -> Any:
+    """Recursively convert a (nested) dataclass config to plain data."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return {
+            f.name: config_to_dict(getattr(config, f.name))
+            for f in dataclasses.fields(config)
+        }
+    if isinstance(config, enum.Enum):
+        return config.value
+    if isinstance(config, tuple):
+        return [config_to_dict(v) for v in config]
+    if isinstance(config, dict):
+        return {k: config_to_dict(v) for k, v in config.items()}
+    if isinstance(config, float) and config == float("inf"):
+        return "inf"
+    return config
+
+
+def _build(cls: type, data: dict[str, Any]) -> Any:
+    kwargs: dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        kwargs[f.name] = _coerce(f.type, value, f)
+    return cls(**kwargs)
+
+
+def _coerce(annotation: Any, value: Any, f: dataclasses.Field) -> Any:
+    if value == "inf":
+        return float("inf")
+    # Nested dataclasses are recognized from the default factory/value.
+    default = None
+    if f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        default = f.default_factory()  # type: ignore[misc]
+    elif f.default is not dataclasses.MISSING:
+        default = f.default
+    if dataclasses.is_dataclass(default) and isinstance(value, dict):
+        return _build(type(default), value)
+    if isinstance(default, enum.Enum) and isinstance(value, str):
+        return type(default)(value)
+    if isinstance(value, list) and "tuple" in str(annotation):
+        return tuple(value)
+    if isinstance(default, tuple) and isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, dict) and f.name == "flash_crowd":
+        return _build(FlashCrowdSpec, value)
+    return value
+
+
+def config_from_dict(data: dict[str, Any]) -> ScenarioConfig:
+    """Rebuild a :class:`ScenarioConfig` from :func:`config_to_dict` output."""
+    return _build(ScenarioConfig, data)
+
+
+def save_config(config: ScenarioConfig, path: str) -> None:
+    """Write a scenario config as pretty JSON."""
+    with open(path, "w") as handle:
+        json.dump(config_to_dict(config), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_config(path: str) -> ScenarioConfig:
+    """Read a scenario config saved by :func:`save_config`."""
+    with open(path) as handle:
+        return config_from_dict(json.load(handle))

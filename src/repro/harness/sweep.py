@@ -1,0 +1,58 @@
+"""Parameter sweeps over scenario configurations.
+
+Overrides address nested dataclass fields with dotted paths
+(``"workload.attack_rate_pps"``), so sweep axes can reach any knob in the
+composed config tree without bespoke plumbing per experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Iterable
+
+from repro.harness.scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+
+def apply_overrides(config: Any, overrides: dict[str, Any]) -> Any:
+    """Return a copy of a (nested) frozen dataclass with fields replaced.
+
+    Keys are dotted paths; each segment except the last must name a
+    dataclass field holding another dataclass.
+    """
+    grouped: dict[str, dict[str, Any]] = {}
+    direct: dict[str, Any] = {}
+    for path, value in overrides.items():
+        head, _, rest = path.partition(".")
+        if rest:
+            grouped.setdefault(head, {})[rest] = value
+        else:
+            direct[head] = value
+    for head, sub in grouped.items():
+        current = getattr(config, head)
+        if not dataclasses.is_dataclass(current):
+            raise TypeError(f"{head!r} is not a nested dataclass on {type(config).__name__}")
+        direct[head] = apply_overrides(current, sub)
+    return dataclasses.replace(config, **direct)
+
+
+def grid(**axes: Iterable[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of sweep axes as a list of override dicts.
+
+    >>> grid(a=[1, 2], b=["x"])
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    names = list(axes)
+    combos = itertools.product(*(list(axes[name]) for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def run_sweep(
+    base: ScenarioConfig, points: list[dict[str, Any]]
+) -> list[tuple[dict[str, Any], ScenarioResult]]:
+    """Run one scenario per override point, in order."""
+    results = []
+    for point in points:
+        config = apply_overrides(base, point)
+        results.append((point, run_scenario(config)))
+    return results

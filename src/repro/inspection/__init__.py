@@ -1,0 +1,18 @@
+"""Deep packet inspection substrate.
+
+The inspector host hangs off an OVS SPAN port; mirrored frames reach it
+as real wire bytes, are re-parsed (checksums verified), and fed to a
+handshake tracker that accumulates per-source evidence: which sources
+complete their 3-way handshakes and which leave connections half-open.
+"""
+
+from repro.inspection.dpi import DpiEngine, DpiStats
+from repro.inspection.tracker import HandshakeEvidence, HandshakeTracker, SourceEvidence
+
+__all__ = [
+    "DpiEngine",
+    "DpiStats",
+    "HandshakeTracker",
+    "HandshakeEvidence",
+    "SourceEvidence",
+]

@@ -1,0 +1,20 @@
+"""Measurement and reporting: time series, detection quality, tables."""
+
+from repro.metrics.recorder import TimeSeries, summarize
+from repro.metrics.detection import (
+    ConfusionCounts,
+    DetectionTimeline,
+    classify_detections,
+    extract_timeline,
+)
+from repro.metrics.report import Table
+
+__all__ = [
+    "TimeSeries",
+    "summarize",
+    "ConfusionCounts",
+    "classify_detections",
+    "DetectionTimeline",
+    "extract_timeline",
+    "Table",
+]

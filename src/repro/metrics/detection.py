@@ -1,0 +1,138 @@
+"""Detection-quality metrics: confusion counts and response timelines.
+
+``classify_detections`` turns raw detection timestamps plus ground-truth
+attack windows into TP/FP/FN counts (the E2 accuracy axes);
+``extract_timeline`` reduces a scenario's trace to the E1 response-time
+milestones (alert, verdict, mitigation) relative to attack start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class ConfusionCounts:
+    """Binary detection outcome counters."""
+
+    tp: int = 0
+    fp: int = 0
+    fn: int = 0
+    tn: int = 0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was flagged."""
+        flagged = self.tp + self.fp
+        return self.tp / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there was nothing to find."""
+        actual = self.tp + self.fn
+        return self.tp / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN); 0.0 with no negatives observed."""
+        negatives = self.fp + self.tn
+        return self.fp / negatives if negatives else 0.0
+
+
+def classify_detections(
+    detection_times: Iterable[float],
+    attack_windows: list[tuple[float, float]],
+    grace_s: float = 0.0,
+    quiet_windows: int = 0,
+) -> tuple[ConfusionCounts, list[float]]:
+    """Score detections against ground truth.
+
+    A detection inside any attack window (stretched by ``grace_s`` at the
+    tail, since verdicts on a just-ended flood are still correct) is a
+    true positive; at most one TP is credited per window, extras are
+    ignored as duplicates.  Detections outside every window are false
+    positives.  Windows never detected are false negatives.
+    ``quiet_windows`` counts attack-free periods that produced no
+    detection, credited as true negatives so an FPR is computable.
+
+    Returns the confusion counts and the per-window detection latency
+    (first detection time minus window start) for detected windows.
+    """
+    detections = sorted(detection_times)
+    counts = ConfusionCounts(tn=quiet_windows)
+    latencies: list[float] = []
+    credited: set[int] = set()
+    for t in detections:
+        hit = None
+        for i, (start, end) in enumerate(attack_windows):
+            if start <= t <= end + grace_s:
+                hit = i
+                break
+        if hit is None:
+            counts.fp += 1
+        elif hit not in credited:
+            credited.add(hit)
+            counts.tp += 1
+            latencies.append(t - attack_windows[hit][0])
+    counts.fn = len(attack_windows) - len(credited)
+    return counts, latencies
+
+
+@dataclass
+class DetectionTimeline:
+    """Milestones of one attack's handling, relative to attack start."""
+
+    attack_start: float
+    alert_at: Optional[float] = None
+    inspect_start_at: Optional[float] = None
+    verdict_at: Optional[float] = None
+    mitigated_at: Optional[float] = None
+
+    @property
+    def time_to_alert(self) -> Optional[float]:
+        """Seconds from attack start to first monitor alert."""
+        return None if self.alert_at is None else self.alert_at - self.attack_start
+
+    @property
+    def time_to_verdict(self) -> Optional[float]:
+        """Seconds from attack start to signature verdict."""
+        return None if self.verdict_at is None else self.verdict_at - self.attack_start
+
+    @property
+    def time_to_mitigation(self) -> Optional[float]:
+        """Seconds from attack start to mitigation rules installed."""
+        return None if self.mitigated_at is None else self.mitigated_at - self.attack_start
+
+    @property
+    def verification_overhead(self) -> Optional[float]:
+        """Seconds verification added on top of the raw alert."""
+        if self.alert_at is None or self.verdict_at is None:
+            return None
+        return self.verdict_at - self.alert_at
+
+
+def extract_timeline(tracer: Tracer, attack_start: float) -> DetectionTimeline:
+    """Pull the E1 milestones out of a scenario trace."""
+    timeline = DetectionTimeline(attack_start=attack_start)
+    alert = tracer.first("spi.alert", after=attack_start)
+    if alert is not None:
+        timeline.alert_at = alert.time
+    inspect = tracer.first("spi.inspect_start", after=attack_start)
+    if inspect is not None:
+        timeline.inspect_start_at = inspect.time
+    verdict = tracer.first("spi.confirmed", after=attack_start)
+    if verdict is not None:
+        timeline.verdict_at = verdict.time
+    mitigation = tracer.first("mitigation.installed", after=attack_start)
+    if mitigation is not None:
+        timeline.mitigated_at = mitigation.time
+    return timeline

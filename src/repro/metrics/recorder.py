@@ -1,0 +1,96 @@
+"""Time-series recording and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class TimeSeries:
+    """Append-only (time, value) samples with range queries."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def append(self, time: float, value: float) -> None:
+        """Record one sample; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValueError("samples must arrive in time order")
+        self._times.append(time)
+        self._values.append(value)
+
+    def values(self, start: float = 0.0, end: float = float("inf")) -> list[float]:
+        """Values sampled within [start, end)."""
+        return [
+            v for t, v in zip(self._times, self._values) if start <= t < end
+        ]
+
+    def last(self) -> float | None:
+        """Most recent value, if any."""
+        return self._values[-1] if self._values else None
+
+    def mean(self, start: float = 0.0, end: float = float("inf")) -> float:
+        """Mean over a phase (0.0 when empty)."""
+        window = self.values(start, end)
+        return sum(window) / len(window) if window else 0.0
+
+    def maximum(self, start: float = 0.0, end: float = float("inf")) -> float:
+        """Max over a phase (0.0 when empty)."""
+        window = self.values(start, end)
+        return max(window) if window else 0.0
+
+    def samples(self) -> list[tuple[float, float]]:
+        """All (time, value) pairs."""
+        return list(zip(self._times, self._values))
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    interpolated = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Clamp: float interpolation between equal values can drift an ulp
+    # outside the data range.
+    return min(max(interpolated, ordered[0]), ordered[-1])
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary of a sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: list[float]) -> Summary:
+    """Reduce a sample list to its headline statistics."""
+    if not values:
+        return Summary(count=0, mean=0.0, p50=0.0, p95=0.0, minimum=0.0, maximum=0.0)
+    return Summary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,92 @@
+"""Result tables: the rows the paper's tables and figure series report.
+
+``Table`` renders to aligned text (for terminals), GitHub markdown (for
+EXPERIMENTS.md) and CSV (for plotting), with numeric formatting handled
+uniformly.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+class Table:
+    """A simple column-typed result table."""
+
+    def __init__(self, title: str, columns: Sequence[str], precision: int = 4) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.precision = precision
+        self.rows: list[list[Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def _rendered(self) -> list[list[str]]:
+        return [
+            [_format_cell(cell, self.precision) for cell in row] for row in self.rows
+        ]
+
+    def to_text(self) -> str:
+        """Aligned plain-text rendering with the title."""
+        rendered = self._rendered()
+        widths = [len(c) for c in self.columns]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        out.write(header + "\n")
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in rendered:
+            out.write("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + "\n")
+        return out.getvalue()
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        out = io.StringIO()
+        out.write(f"**{self.title}**\n\n")
+        out.write("| " + " | ".join(self.columns) + " |\n")
+        out.write("|" + "|".join("---" for _ in self.columns) + "|\n")
+        for row in self._rendered():
+            out.write("| " + " | ".join(row) + " |\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """CSV rendering (raw values, not display-formatted)."""
+        out = io.StringIO()
+        out.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            out.write(",".join("" if v is None else str(v) for v in row) + "\n")
+        return out.getvalue()

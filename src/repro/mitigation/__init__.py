@@ -1,0 +1,15 @@
+"""Flow-rule mitigation: drop, aggregate-prefix block, victim shield."""
+
+from repro.mitigation.manager import (
+    MitigationConfig,
+    MitigationManager,
+    MitigationMode,
+    MitigationRecord,
+)
+
+__all__ = [
+    "MitigationManager",
+    "MitigationConfig",
+    "MitigationMode",
+    "MitigationRecord",
+]

@@ -1,0 +1,310 @@
+"""Mitigation: translate a confirmed verdict into flow rules.
+
+Three granularities, ablated in E7 and selectable per scenario:
+
+* ``BLOCK_SOURCES`` — one drop rule per identified attacker source, on
+  every datapath, with a hard timeout.  Right answer for non-spoofed or
+  small-pool attacks; breaks down when sources are random-spoofed.
+* ``BLOCK_PREFIX`` — when the attacker population exceeds the per-source
+  rule budget, find covering prefixes that contain many attackers and no
+  whitelisted source, and install one CIDR drop per prefix.
+* ``SHIELD_VICTIM`` — a token-bucket rate limit in front of the victim
+  plus high-priority pass rules for sources that completed handshakes
+  during inspection (the verified-good whitelist).
+
+``HYBRID`` (the default) starts with per-source rules and escalates to
+prefix blocks when the population is too large.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.controller.base import Controller
+from repro.controller.l2 import L2LearningSwitch
+from repro.net.addresses import ip_in_subnet, ip_to_int, int_to_ip
+from repro.net.headers import ETHERTYPE_IPV4
+from repro.openflow.actions import Drop, Output, RateLimit
+from repro.openflow.match import Match
+from repro.sim.trace import Tracer
+
+MITIGATION_COOKIE = 0xD05
+PRIORITY_WHITELIST = 320
+PRIORITY_MITIGATION = 300
+
+
+class MitigationMode(enum.Enum):
+    """Mitigation granularity."""
+
+    BLOCK_SOURCES = "block_sources"
+    BLOCK_PREFIX = "block_prefix"
+    SHIELD_VICTIM = "shield_victim"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class MitigationConfig:
+    """Mitigation tuning."""
+
+    mode: MitigationMode = MitigationMode.HYBRID
+    rule_hard_timeout_s: float = 30.0
+    max_source_rules: int = 64
+    aggregate_prefix_len: int = 16
+    # A prefix is blockable only if it contains at least this many
+    # zero-completion sources (spoofed floods put hundreds in one /16;
+    # a handful of unlucky benign clients never reach this density).
+    prefix_min_sources: int = 8
+    shield_pps: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.rule_hard_timeout_s <= 0:
+            raise ValueError("rule timeout must be positive")
+        if not 0 < self.aggregate_prefix_len <= 32:
+            raise ValueError("prefix length must be in (0, 32]")
+        if self.max_source_rules < 1:
+            raise ValueError("need at least one source rule")
+
+
+@dataclass
+class MitigationRecord:
+    """What was installed for one confirmed attack."""
+
+    victim_ip: str
+    installed_at: float
+    mode: MitigationMode
+    blocked_sources: list[str] = field(default_factory=list)
+    blocked_prefixes: list[str] = field(default_factory=list)
+    shielded: bool = False
+    whitelisted: list[str] = field(default_factory=list)
+
+    @property
+    def rule_count(self) -> int:
+        """Rules installed per datapath."""
+        return (
+            len(self.blocked_sources)
+            + len(self.blocked_prefixes)
+            + (1 if self.shielded else 0)
+            + len(self.whitelisted)
+        )
+
+
+class MitigationManager:
+    """Installs and retires mitigation flow rules."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        config: MitigationConfig | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.controller = controller
+        self.config = config or MitigationConfig()
+        # Explicit None check: an empty Tracer is falsy (len() == 0).
+        self.tracer = tracer if tracer is not None else controller.tracer
+        self.records: list[MitigationRecord] = []
+        self.active: dict[str, MitigationRecord] = {}
+        self.whitelist: set[str] = set()
+        self._victim_macs: dict[str, str] = {}
+        # Optional rule-placement scope: when set (e.g. to the discovery
+        # app's edge datapaths), rules install only on these switches
+        # instead of every datapath — all traffic ingresses at an edge,
+        # so blocking there suffices and core tables stay lean.
+        self.scope_datapaths: Optional[set[int]] = None
+
+    # ------------------------------------------------------------- public
+
+    def mitigate(
+        self,
+        victim_ip: str,
+        attacker_sources: Iterable[str],
+        suspect_sources: Iterable[str] = (),
+        completed_sources: Iterable[str] = (),
+    ) -> MitigationRecord:
+        """Apply the configured mitigation for a confirmed attack.
+
+        ``attacker_sources`` are heavy hitters safe to block one by one;
+        ``suspect_sources`` are the low-volume zero-completion population
+        that is only blockable in aggregate (dense prefixes);
+        ``completed_sources`` join the never-block whitelist.
+        """
+        attackers = [ip for ip in attacker_sources if ip not in self.whitelist]
+        suspects = [ip for ip in suspect_sources if ip not in self.whitelist]
+        self.whitelist.update(completed_sources)
+        now = self.controller.sim.now
+        record = MitigationRecord(
+            victim_ip=victim_ip, installed_at=now, mode=self.config.mode
+        )
+        mode = self.config.mode
+        if mode in (MitigationMode.HYBRID, MitigationMode.BLOCK_SOURCES):
+            self._block_sources(
+                victim_ip, attackers[: self.config.max_source_rules], record
+            )
+        if mode in (MitigationMode.HYBRID, MitigationMode.BLOCK_PREFIX):
+            self._block_prefixes(victim_ip, suspects, record)
+        if mode is MitigationMode.SHIELD_VICTIM:
+            self._shield(victim_ip, record)
+        self.records.append(record)
+        self.active[victim_ip] = record
+        # The flow rules carry a hard timeout; the manager's view must
+        # expire with them or re-detection of a persistent attack would
+        # be suppressed forever.
+        self.controller.sim.schedule(
+            self.config.rule_hard_timeout_s,
+            lambda: self._expire_record(victim_ip, record),
+            "mitigation.expiry",
+        )
+        self.tracer.emit(
+            "mitigation.installed",
+            f"victim={victim_ip} mode={mode.value} rules={record.rule_count}",
+            victim=victim_ip,
+            mode=mode.value,
+            sources=len(record.blocked_sources),
+            prefixes=list(record.blocked_prefixes),
+        )
+        return record
+
+    def lift(self, victim_ip: str) -> None:
+        """Remove all mitigation rules for a victim (manual or post-attack)."""
+        record = self.active.pop(victim_ip, None)
+        if record is None:
+            return
+        for datapath_id in self.controller.datapaths:
+            self.controller.delete_flows(
+                datapath_id, Match(eth_type=ETHERTYPE_IPV4, ip_dst=victim_ip),
+                cookie=MITIGATION_COOKIE,
+            )
+        self.tracer.emit("mitigation.lifted", f"victim={victim_ip}", victim=victim_ip)
+
+    def is_active(self, victim_ip: str) -> bool:
+        """True while mitigation rules for this victim are installed."""
+        return victim_ip in self.active
+
+    def _expire_record(self, victim_ip: str, record: MitigationRecord) -> None:
+        if self.active.get(victim_ip) is record:
+            del self.active[victim_ip]
+            self.tracer.emit(
+                "mitigation.expired", f"victim={victim_ip}", victim=victim_ip
+            )
+
+    # ----------------------------------------------------------- internals
+
+    def _target_datapaths(self) -> list[int]:
+        if self.scope_datapaths is None:
+            return list(self.controller.datapaths)
+        return [d for d in self.controller.datapaths if d in self.scope_datapaths]
+
+    def _install_everywhere(self, match: Match, actions: tuple, priority: int) -> None:
+        for datapath_id in self._target_datapaths():
+            self.controller.add_flow(
+                datapath_id,
+                match=match,
+                actions=actions,
+                priority=priority,
+                hard_timeout=self.config.rule_hard_timeout_s,
+                cookie=MITIGATION_COOKIE,
+            )
+
+    def _block_sources(
+        self, victim_ip: str, attackers: list[str], record: MitigationRecord
+    ) -> None:
+        for src in attackers:
+            self._install_everywhere(
+                Match(eth_type=ETHERTYPE_IPV4, ip_src=src, ip_dst=victim_ip),
+                actions=(Drop(),),
+                priority=PRIORITY_MITIGATION,
+            )
+            record.blocked_sources.append(src)
+
+    def _block_prefixes(
+        self, victim_ip: str, suspects: list[str], record: MitigationRecord
+    ) -> None:
+        for prefix in self._covering_prefixes(suspects):
+            self._install_everywhere(
+                Match(eth_type=ETHERTYPE_IPV4, ip_src=prefix, ip_dst=victim_ip),
+                actions=(Drop(),),
+                priority=PRIORITY_MITIGATION,
+            )
+            record.blocked_prefixes.append(prefix)
+
+    def _covering_prefixes(self, suspects: list[str]) -> list[str]:
+        """Dense suspect prefixes safe to block.
+
+        A prefix qualifies only if it holds at least
+        ``prefix_min_sources`` zero-completion sources and contains no
+        whitelisted (verified-good) source.
+        """
+        plen = self.config.aggregate_prefix_len
+        mask = (0xFFFFFFFF << (32 - plen)) & 0xFFFFFFFF if plen else 0
+        groups: Counter[int] = Counter()
+        for ip in suspects:
+            groups[ip_to_int(ip) & mask] += 1
+        prefixes = []
+        for network, count in groups.items():
+            if count < self.config.prefix_min_sources:
+                continue
+            cidr = f"{int_to_ip(network)}/{plen}"
+            if any(ip_in_subnet(w, cidr) for w in self.whitelist):
+                continue
+            prefixes.append(cidr)
+        return sorted(prefixes)
+
+    def _shield(self, victim_ip: str, record: MitigationRecord) -> None:
+        l2 = self._l2_app()
+        victim_port_actions = self._victim_forward_actions(victim_ip, l2)
+        # Verified-good sources bypass the policer.
+        for src in sorted(self.whitelist):
+            for datapath_id, actions in victim_port_actions.items():
+                self.controller.add_flow(
+                    datapath_id,
+                    match=Match(eth_type=ETHERTYPE_IPV4, ip_src=src, ip_dst=victim_ip),
+                    actions=actions,
+                    priority=PRIORITY_WHITELIST,
+                    hard_timeout=self.config.rule_hard_timeout_s,
+                    cookie=MITIGATION_COOKIE,
+                )
+            record.whitelisted.append(src)
+        for datapath_id, actions in victim_port_actions.items():
+            self.controller.add_flow(
+                datapath_id,
+                match=Match(eth_type=ETHERTYPE_IPV4, ip_dst=victim_ip),
+                actions=(RateLimit(self.config.shield_pps),) + actions,
+                priority=PRIORITY_MITIGATION,
+                hard_timeout=self.config.rule_hard_timeout_s,
+                cookie=MITIGATION_COOKIE,
+            )
+        record.shielded = True
+
+    def _l2_app(self) -> Optional[L2LearningSwitch]:
+        try:
+            return self.controller.app(L2LearningSwitch)  # type: ignore[return-value]
+        except KeyError:
+            return None
+
+    def _victim_forward_actions(
+        self, victim_ip: str, l2: Optional[L2LearningSwitch]
+    ) -> dict[int, tuple]:
+        """Per-datapath forward actions toward the victim.
+
+        Uses the learning table when it knows the victim's MAC; falls
+        back to flooding (correct, if wasteful, L2 behaviour).
+        """
+        from repro.openflow.actions import Flood  # local to avoid cycle noise
+
+        actions: dict[int, tuple] = {}
+        victim_mac = self._victim_mac(victim_ip, l2)
+        for datapath_id in self._target_datapaths():
+            port = l2.port_for(datapath_id, victim_mac) if (l2 and victim_mac) else None
+            actions[datapath_id] = (Output(port),) if port is not None else (Flood(),)
+        return actions
+
+    def _victim_mac(self, victim_ip: str, l2: Optional[L2LearningSwitch]) -> Optional[str]:
+        # The controller has no ARP view in this model; the SPI app records
+        # victim MACs as it observes punted packets and shares them here.
+        return self._victim_macs.get(victim_ip)
+
+    def note_victim_mac(self, victim_ip: str, mac: str) -> None:
+        """Record an IP->MAC binding observed on the data plane."""
+        self._victim_macs[victim_ip] = mac

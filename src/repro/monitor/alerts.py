@@ -1,0 +1,64 @@
+"""The management-plane alert bus between monitors and the correlator.
+
+On GENI the monitors reported to the correlator over the slice's control
+network; the bus models that hop with a configurable latency.  Alerts are
+the *fast but unverified* signal of the paper: cheap to raise, suppressed
+or confirmed later by selective deep inspection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.monitor.detectors import Detection
+from repro.monitor.features import WindowFeatures
+from repro.sim.engine import Simulator
+
+_alert_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A monitor's anomaly report."""
+
+    monitor: str
+    time: float
+    detection: Detection
+    features: WindowFeatures
+    victim_ip: str | None
+    alert_id: int = field(default_factory=lambda: next(_alert_ids))
+
+    def describe(self) -> str:
+        """One-line summary for traces."""
+        return (
+            f"alert#{self.alert_id} {self.monitor} {self.detection.detector} "
+            f"victim={self.victim_ip} value={self.detection.value:.1f} "
+            f"thr={self.detection.threshold:.1f}"
+        )
+
+
+AlertListener = Callable[[Alert], None]
+
+
+class AlertBus:
+    """Latency-modelled publish/subscribe channel for alerts."""
+
+    def __init__(self, sim: Simulator, latency_s: float = 0.005) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.latency_s = latency_s
+        self._listeners: list[AlertListener] = []
+        self.published = 0
+
+    def subscribe(self, listener: AlertListener) -> None:
+        """Register a consumer (the correlator, metrics recorders)."""
+        self._listeners.append(listener)
+
+    def publish(self, alert: Alert) -> None:
+        """Deliver ``alert`` to every subscriber after the bus latency."""
+        self.published += 1
+        for listener in self._listeners:
+            self.sim.schedule(self.latency_s, lambda l=listener: l(alert), "alertbus")

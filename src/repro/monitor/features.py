@@ -1,0 +1,138 @@
+"""Per-window feature extraction from sampled packet headers.
+
+The monitor tier is deliberately cheap: it looks only at header fields
+(flags, addresses) of *sampled* packets and reduces each window to a
+:class:`WindowFeatures` record.  Counts are scaled by the inverse
+sampling probability so features estimate true traffic volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.headers import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
+from repro.net.packet import Packet
+from repro.monitor.window import EntropyAccumulator, TumblingAccumulator
+
+
+@dataclass(frozen=True)
+class WindowFeatures:
+    """Summary of one observation window at one monitor."""
+
+    window_start: float
+    window_end: float
+    total_packets: float
+    tcp_packets: float
+    syn_count: float
+    synack_count: float
+    ack_count: float
+    rst_count: float
+    fin_count: float
+    udp_packets: float
+    distinct_sources: int
+    source_entropy: float
+    top_destination: str | None
+    top_destination_syns: float
+    per_destination_syns: dict[str, float] = field(default_factory=dict)
+    top_udp_destination: str | None = None
+    top_udp_destination_packets: float = 0.0
+    per_destination_udp: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Window length in seconds."""
+        return self.window_end - self.window_start
+
+    @property
+    def syn_rate(self) -> float:
+        """Estimated SYN arrivals per second."""
+        return self.syn_count / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def udp_rate(self) -> float:
+        """Estimated UDP datagrams per second."""
+        return self.udp_packets / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def syn_ack_imbalance(self) -> float:
+        """SYNs per completing ACK; ~1-2 for benign traffic, >>1 in floods.
+
+        A SYN flood sends SYNs that are never followed by the final ACK
+        of the handshake, so this ratio diverges.  The +1 regularizer
+        keeps quiet windows finite.
+        """
+        return self.syn_count / (self.ack_count + 1.0)
+
+
+class FeatureExtractor:
+    """Accumulates sampled packets and closes windows into features."""
+
+    def __init__(self, sampling_probability: float = 1.0) -> None:
+        if not 0 < sampling_probability <= 1:
+            raise ValueError("sampling probability must be in (0, 1]")
+        self.sampling_probability = sampling_probability
+        self._scale = 1.0 / sampling_probability
+        self._counts = TumblingAccumulator()
+        self._sources = EntropyAccumulator()
+        self._dst_syns = TumblingAccumulator()
+        self._dst_udp = TumblingAccumulator()
+        self._window_start = 0.0
+
+    def observe(self, packet: Packet) -> None:
+        """Feed one sampled packet (header inspection only)."""
+        self._counts.add("total")
+        if packet.ip is None:
+            return
+        if packet.tcp is not None:
+            self._counts.add("tcp")
+            flags = packet.tcp.flags
+            if flags & TCP_SYN and not flags & TCP_ACK:
+                self._counts.add("syn")
+                self._sources.add(packet.ip.src_ip)
+                self._dst_syns.add(packet.ip.dst_ip)
+            elif flags & TCP_SYN and flags & TCP_ACK:
+                self._counts.add("synack")
+            elif flags & TCP_ACK:
+                self._counts.add("ack")
+            if flags & TCP_RST:
+                self._counts.add("rst")
+            if flags & TCP_FIN:
+                self._counts.add("fin")
+        elif packet.udp is not None:
+            self._counts.add("udp")
+            self._sources.add(packet.ip.src_ip)
+            self._dst_udp.add(packet.ip.dst_ip)
+
+    def close_window(self, now: float) -> WindowFeatures:
+        """Summarize and reset for the next window."""
+        counts = self._counts.snapshot_and_reset()
+        dst_counts = self._dst_syns.snapshot_and_reset()
+        top_dst = max(dst_counts, key=dst_counts.get) if dst_counts else None
+        udp_counts = self._dst_udp.snapshot_and_reset()
+        top_udp = max(udp_counts, key=udp_counts.get) if udp_counts else None
+        scale = self._scale
+        features = WindowFeatures(
+            window_start=self._window_start,
+            window_end=now,
+            total_packets=counts.get("total", 0) * scale,
+            tcp_packets=counts.get("tcp", 0) * scale,
+            syn_count=counts.get("syn", 0) * scale,
+            synack_count=counts.get("synack", 0) * scale,
+            ack_count=counts.get("ack", 0) * scale,
+            rst_count=counts.get("rst", 0) * scale,
+            fin_count=counts.get("fin", 0) * scale,
+            udp_packets=counts.get("udp", 0) * scale,
+            distinct_sources=self._sources.distinct,
+            source_entropy=self._sources.entropy(),
+            top_destination=top_dst,
+            top_destination_syns=dst_counts.get(top_dst, 0) * scale if top_dst else 0.0,
+            per_destination_syns={ip: c * scale for ip, c in dst_counts.items()},
+            top_udp_destination=top_udp,
+            top_udp_destination_packets=(
+                udp_counts.get(top_udp, 0) * scale if top_udp else 0.0
+            ),
+            per_destination_udp={ip: c * scale for ip, c in udp_counts.items()},
+        )
+        self._sources.reset()
+        self._window_start = now
+        return features

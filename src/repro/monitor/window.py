@@ -1,0 +1,116 @@
+"""Windowed accumulators used by the monitors.
+
+Three small primitives: a tumbling counter bundle (reset every window), a
+sliding rate estimator over a trailing horizon, and an entropy
+accumulator over a categorical key distribution (source IPs).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+
+
+class TumblingAccumulator:
+    """Named counters that reset at every window boundary."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Increment ``key`` by ``amount``."""
+        self._counts[key] += amount
+
+    def get(self, key: str) -> int:
+        """Current value of ``key`` (0 if never incremented)."""
+        return self._counts.get(key, 0)
+
+    def snapshot_and_reset(self) -> dict[str, int]:
+        """Return all counters and clear them for the next window."""
+        snapshot = dict(self._counts)
+        self._counts.clear()
+        return snapshot
+
+
+class SlidingRate:
+    """Events-per-second over a trailing horizon.
+
+    Stores event timestamps in a deque and evicts those older than the
+    horizon on every query; memory is bounded by rate x horizon.
+    """
+
+    def __init__(self, horizon_s: float) -> None:
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon_s = horizon_s
+        self._times: deque[float] = deque()
+
+    def add(self, now: float, count: int = 1) -> None:
+        """Record ``count`` events at time ``now``."""
+        for _ in range(count):
+            self._times.append(now)
+        self._evict(now)
+
+    def rate(self, now: float) -> float:
+        """Events per second over the trailing horizon."""
+        self._evict(now)
+        return len(self._times) / self.horizon_s
+
+    def count(self, now: float) -> int:
+        """Events within the trailing horizon."""
+        self._evict(now)
+        return len(self._times)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.horizon_s
+        while self._times and self._times[0] < cutoff:
+            self._times.popleft()
+
+
+class EntropyAccumulator:
+    """Shannon entropy of a categorical distribution, normalized to [0, 1].
+
+    A SYN flood with spoofed sources pushes the source-IP entropy toward
+    1 (every packet a new address); a flash crowd of real users sits
+    lower because legitimate clients send multiple packets each.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+        self._total = 0
+
+    def add(self, key: str, amount: int = 1) -> None:
+        """Observe ``key``."""
+        self._counts[key] += amount
+        self._total += amount
+
+    @property
+    def total(self) -> int:
+        """Total observations this window."""
+        return self._total
+
+    @property
+    def distinct(self) -> int:
+        """Distinct keys this window."""
+        return len(self._counts)
+
+    def entropy(self) -> float:
+        """Normalized Shannon entropy (0 = single key, 1 = uniform)."""
+        n = self._total
+        k = len(self._counts)
+        if n == 0 or k <= 1:
+            return 0.0
+        raw = 0.0
+        for count in self._counts.values():
+            p = count / n
+            raw -= p * math.log2(p)
+        return raw / math.log2(k)
+
+    def top(self, n: int = 1) -> list[tuple[str, int]]:
+        """The ``n`` most frequent keys and their counts."""
+        return self._counts.most_common(n)
+
+    def reset(self) -> None:
+        """Clear for the next window."""
+        self._counts.clear()
+        self._total = 0

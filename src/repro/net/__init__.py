@@ -1,0 +1,85 @@
+"""Network substrate: addresses, wire-format headers, links, nodes, hosts.
+
+Replaces the GENI/Mininet data plane of the original paper.  Headers are
+packed to and parsed from real bytes so the deep-packet-inspection engine
+exercises a genuine wire-format parse path rather than peeking at Python
+objects.
+"""
+
+from repro.net.addresses import (
+    BROADCAST_MAC,
+    ip_in_subnet,
+    ip_to_int,
+    int_to_ip,
+    mac_to_bytes,
+    bytes_to_mac,
+    validate_ip,
+    validate_mac,
+)
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    EthernetHeader,
+    HeaderError,
+    IPv4Header,
+    IcmpHeader,
+    TcpHeader,
+    UdpHeader,
+    internet_checksum,
+)
+from repro.net.packet import Packet, parse_packet
+from repro.net.link import Link, LinkEnd, LinkStats
+from repro.net.node import Interface, Node
+from repro.net.host import Host
+from repro.net.arp import ArpMessage, ArpService
+from repro.net.ping import PingResult, PingService
+from repro.net.pcap import PcapTap, PcapWriter, read_pcap
+
+__all__ = [
+    "BROADCAST_MAC",
+    "ip_in_subnet",
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "validate_ip",
+    "validate_mac",
+    "ETHERTYPE_IPV4",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TCP_ACK",
+    "TCP_FIN",
+    "TCP_PSH",
+    "TCP_RST",
+    "TCP_SYN",
+    "EthernetHeader",
+    "HeaderError",
+    "IPv4Header",
+    "IcmpHeader",
+    "TcpHeader",
+    "UdpHeader",
+    "internet_checksum",
+    "Packet",
+    "parse_packet",
+    "Link",
+    "LinkEnd",
+    "LinkStats",
+    "Interface",
+    "Node",
+    "Host",
+    "ArpService",
+    "ArpMessage",
+    "PingService",
+    "PingResult",
+    "PcapWriter",
+    "PcapTap",
+    "read_pcap",
+]

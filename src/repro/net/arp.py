@@ -1,0 +1,234 @@
+"""ARP: dynamic address resolution over the L2 fabric.
+
+The topology builder installs static ARP tables by default (GENI slices
+have known membership), but hosts can instead run a real ARP service:
+requests are broadcast, replies unicast, entries cached with a TTL, and
+outbound IP packets queue while resolution is in flight.  The SYN-flood
+experiments also exercise the *failure* path — SYN-ACK backscatter to
+spoofed addresses triggers requests nobody answers, which time out and
+drop the queued segments, matching real-stack behaviour.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.addresses import BROADCAST_MAC, bytes_to_mac, int_to_ip, ip_to_int, mac_to_bytes
+from repro.net.headers import HeaderError
+from repro.net.packet import Packet
+from repro.sim.process import Timer
+
+if TYPE_CHECKING:
+    from repro.net.host import Host
+
+ETHERTYPE_ARP = 0x0806
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+
+@dataclass(frozen=True)
+class ArpMessage:
+    """An ARP request or reply (Ethernet/IPv4 flavour)."""
+
+    op: int
+    sender_mac: str
+    sender_ip: str
+    target_mac: str
+    target_ip: str
+
+    LENGTH = 28
+
+    def pack(self) -> bytes:
+        """Serialize to the 28-byte wire format."""
+        return struct.pack(
+            "!HHBBH6s4s6s4s",
+            1,  # hardware type: Ethernet
+            0x0800,  # protocol type: IPv4
+            6,
+            4,
+            self.op,
+            mac_to_bytes(self.sender_mac),
+            ip_to_int(self.sender_ip).to_bytes(4, "big"),
+            mac_to_bytes(self.target_mac),
+            ip_to_int(self.target_ip).to_bytes(4, "big"),
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "ArpMessage":
+        """Parse the wire format."""
+        if len(raw) < cls.LENGTH:
+            raise HeaderError(f"ARP message too short: {len(raw)} bytes")
+        htype, ptype, hlen, plen, op, smac, sip, tmac, tip = struct.unpack(
+            "!HHBBH6s4s6s4s", raw[:28]
+        )
+        if htype != 1 or ptype != 0x0800 or hlen != 6 or plen != 4:
+            raise HeaderError("unsupported ARP hardware/protocol type")
+        return cls(
+            op=op,
+            sender_mac=bytes_to_mac(smac),
+            sender_ip=int_to_ip(int.from_bytes(sip, "big")),
+            target_mac=bytes_to_mac(tmac),
+            target_ip=int_to_ip(int.from_bytes(tip, "big")),
+        )
+
+
+@dataclass
+class _CacheEntry:
+    mac: str
+    learned_at: float
+
+
+@dataclass
+class _PendingResolution:
+    timer: Timer
+    retries_left: int
+    waiting: list[Packet] = field(default_factory=list)
+
+
+class ArpService:
+    """Per-host ARP: cache, resolution queue, request/reply handling.
+
+    Attach with ``ArpService(host)``; thereafter ``host.resolve_mac``
+    consults the dynamic cache (falling back to any static entries) and
+    ``send_ip_packet`` transparently queues packets during resolution.
+    """
+
+    def __init__(
+        self,
+        host: "Host",
+        cache_ttl_s: float = 60.0,
+        request_timeout_s: float = 1.0,
+        request_retries: int = 1,
+        max_queued_per_ip: int = 16,
+    ) -> None:
+        self.host = host
+        self.cache_ttl_s = cache_ttl_s
+        self.request_timeout_s = request_timeout_s
+        self.request_retries = request_retries
+        self.max_queued_per_ip = max_queued_per_ip
+        self.cache: dict[str, _CacheEntry] = {}
+        self.pending: dict[str, _PendingResolution] = {}
+        self.requests_sent = 0
+        self.replies_sent = 0
+        self.resolutions_failed = 0
+        self.packets_dropped = 0
+        host.add_sniffer(self._on_frame)
+        host.arp_service = self
+
+    # ----------------------------------------------------------- resolve
+
+    def lookup(self, ip: str) -> str | None:
+        """Cached MAC for ``ip`` (respecting TTL), else static table."""
+        entry = self.cache.get(ip)
+        if entry is not None:
+            if self.host.sim.now - entry.learned_at <= self.cache_ttl_s:
+                return entry.mac
+            del self.cache[ip]
+        return self.host.arp_table.get(ip)
+
+    def send_ip_packet(self, packet: Packet) -> bool:
+        """Send an IP packet, resolving the next hop first if needed.
+
+        Returns False only for immediate queue-overflow drops; queued
+        packets either go out on resolution or are dropped on timeout.
+        """
+        assert packet.ip is not None
+        dst_ip = packet.ip.dst_ip
+        mac = self.lookup(dst_ip)
+        if mac is not None:
+            packet.eth = type(packet.eth)(
+                src_mac=self.host.mac, dst_mac=mac, ethertype=packet.eth.ethertype
+            )
+            return self.host.send_packet(packet)
+        pending = self.pending.get(dst_ip)
+        if pending is None:
+            pending = self._start_resolution(dst_ip)
+        if len(pending.waiting) >= self.max_queued_per_ip:
+            self.packets_dropped += 1
+            return False
+        pending.waiting.append(packet)
+        return True
+
+    def _start_resolution(self, dst_ip: str) -> _PendingResolution:
+        pending = _PendingResolution(
+            timer=Timer(self.host.sim, lambda: self._on_timeout(dst_ip), "arp.timeout"),
+            retries_left=self.request_retries,
+        )
+        self.pending[dst_ip] = pending
+        self._send_request(dst_ip)
+        pending.timer.start(self.request_timeout_s)
+        return pending
+
+    def _send_request(self, dst_ip: str) -> None:
+        self.requests_sent += 1
+        message = ArpMessage(
+            op=OP_REQUEST,
+            sender_mac=self.host.mac,
+            sender_ip=self.host.ip,
+            target_mac="00:00:00:00:00:00",
+            target_ip=dst_ip,
+        )
+        self._transmit(message, BROADCAST_MAC)
+
+    def _on_timeout(self, dst_ip: str) -> None:
+        pending = self.pending.get(dst_ip)
+        if pending is None:
+            return
+        if pending.retries_left > 0:
+            pending.retries_left -= 1
+            self._send_request(dst_ip)
+            pending.timer.start(self.request_timeout_s)
+            return
+        del self.pending[dst_ip]
+        self.resolutions_failed += 1
+        self.packets_dropped += len(pending.waiting)
+
+    # ------------------------------------------------------------ inbound
+
+    def _on_frame(self, packet: Packet) -> None:
+        if packet.eth.ethertype != ETHERTYPE_ARP:
+            return
+        try:
+            message = ArpMessage.unpack(packet.payload)
+        except HeaderError:
+            return
+        # Learn the sender either way (standard ARP optimization).
+        self._learn(message.sender_ip, message.sender_mac)
+        if message.op == OP_REQUEST and message.target_ip == self.host.ip:
+            self.replies_sent += 1
+            reply = ArpMessage(
+                op=OP_REPLY,
+                sender_mac=self.host.mac,
+                sender_ip=self.host.ip,
+                target_mac=message.sender_mac,
+                target_ip=message.sender_ip,
+            )
+            self._transmit(reply, message.sender_mac)
+
+    def _learn(self, ip: str, mac: str) -> None:
+        if ip == self.host.ip:
+            return
+        self.cache[ip] = _CacheEntry(mac=mac, learned_at=self.host.sim.now)
+        pending = self.pending.pop(ip, None)
+        if pending is not None:
+            pending.timer.cancel()
+            for packet in pending.waiting:
+                packet.eth = type(packet.eth)(
+                    src_mac=self.host.mac, dst_mac=mac, ethertype=packet.eth.ethertype
+                )
+                self.host.send_packet(packet)
+
+    def _transmit(self, message: ArpMessage, dst_mac: str) -> None:
+        from repro.net.headers import EthernetHeader
+
+        frame = Packet(
+            eth=EthernetHeader(
+                src_mac=self.host.mac, dst_mac=dst_mac, ethertype=ETHERTYPE_ARP
+            ),
+            payload=message.pack(),
+            created_at=self.host.sim.now,
+        )
+        self.host.send_packet(frame)

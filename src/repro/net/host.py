@@ -1,0 +1,156 @@
+"""End hosts: single-homed nodes with an IP, a static ARP table and a
+protocol demultiplexer.
+
+Routing in these experiments is L2 within a slice (as on the GENI/Mininet
+topologies the paper used), so hosts resolve destination MACs from a static
+ARP table that the topology builder populates, and the switches do the
+actual path selection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.addresses import validate_ip, validate_mac
+from repro.net.headers import IcmpHeader, TcpHeader, UdpHeader
+from repro.net.packet import Packet
+from repro.net.node import Interface, Node
+from repro.sim.engine import Simulator
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Host(Node):
+    """A single-interface end host.
+
+    Protocol modules (the TCP stack, UDP apps, attack generators) register
+    handlers per IP protocol number via :meth:`register_protocol`; inbound
+    packets addressed to this host are dispatched to them.
+    """
+
+    def __init__(self, sim: Simulator, name: str, ip: str, mac: str) -> None:
+        super().__init__(sim, name)
+        self.ip = validate_ip(ip)
+        self.mac = validate_mac(mac)
+        self.port = self.add_interface(1, mac=self.mac)
+        self.arp_table: dict[str, str] = {}
+        self.gateway_mac: Optional[str] = None
+        self._protocol_handlers: dict[int, PacketHandler] = {}
+        self._sniffers: list[PacketHandler] = []
+        self.promiscuous = False
+        self.rx_count = 0
+        self.tx_count = 0
+        self.arp_failures = 0
+        # Set by repro.net.arp.ArpService when dynamic resolution is on;
+        # IP sends then queue through it instead of the static table.
+        self.arp_service = None
+
+    def register_protocol(self, protocol: int, handler: PacketHandler) -> None:
+        """Attach a handler for one IP protocol number."""
+        if protocol in self._protocol_handlers:
+            raise ValueError(f"{self.name} already handles protocol {protocol}")
+        self._protocol_handlers[protocol] = handler
+
+    def add_sniffer(self, sniffer: PacketHandler) -> None:
+        """Attach a passive observer that sees every delivered packet.
+
+        Monitors use this when deployed as SPAN-port receivers.
+        """
+        self._sniffers.append(sniffer)
+
+    def resolve_mac(self, dst_ip: str) -> str:
+        """Destination MAC for ``dst_ip`` via static ARP, else gateway."""
+        mac = self.arp_table.get(dst_ip)
+        if mac is not None:
+            return mac
+        if self.gateway_mac is not None:
+            return self.gateway_mac
+        raise KeyError(f"{self.name}: no ARP entry or gateway for {dst_ip}")
+
+    PLACEHOLDER_MAC = "00:00:00:00:00:00"
+
+    def send_tcp(
+        self, dst_ip: str, tcp: TcpHeader, payload: bytes = b"", src_ip: str | None = None
+    ) -> bool:
+        """Build and transmit a TCP segment (``src_ip`` override = spoofing).
+
+        Segments to unresolvable destinations — e.g. SYN-ACK backscatter
+        toward spoofed source addresses — are dropped and counted, as a
+        real stack's failed ARP resolution would do.
+        """
+        packet = Packet.tcp_packet(
+            src_mac=self.mac,
+            dst_mac=self.PLACEHOLDER_MAC,
+            src_ip=src_ip or self.ip,
+            dst_ip=dst_ip,
+            tcp=tcp,
+            payload=payload,
+            created_at=self.sim.now,
+        )
+        return self._transmit_ip(dst_ip, packet)
+
+    def send_udp(
+        self, dst_ip: str, udp: UdpHeader, payload: bytes = b"", src_ip: str | None = None
+    ) -> bool:
+        """Build and transmit a UDP datagram (``src_ip`` override = spoofing)."""
+        packet = Packet.udp_packet(
+            src_mac=self.mac,
+            dst_mac=self.PLACEHOLDER_MAC,
+            src_ip=src_ip or self.ip,
+            dst_ip=dst_ip,
+            udp=udp,
+            payload=payload,
+            created_at=self.sim.now,
+        )
+        return self._transmit_ip(dst_ip, packet)
+
+    def send_icmp(self, dst_ip: str, icmp: IcmpHeader, payload: bytes = b"") -> bool:
+        """Build and transmit an ICMP message."""
+        packet = Packet.icmp_packet(
+            src_mac=self.mac,
+            dst_mac=self.PLACEHOLDER_MAC,
+            src_ip=self.ip,
+            dst_ip=dst_ip,
+            icmp=icmp,
+            payload=payload,
+            created_at=self.sim.now,
+        )
+        return self._transmit_ip(dst_ip, packet)
+
+    def _transmit_ip(self, dst_ip: str, packet: Packet) -> bool:
+        """Frame and transmit an IP packet, resolving the destination MAC.
+
+        With an attached :class:`~repro.net.arp.ArpService`, resolution
+        (and queueing during it) is delegated there; otherwise the static
+        table answers or the packet is dropped and counted.
+        """
+        if self.arp_service is not None:
+            return self.arp_service.send_ip_packet(packet)
+        try:
+            dst_mac = self.resolve_mac(dst_ip)
+        except KeyError:
+            self.arp_failures += 1
+            return False
+        packet.eth = type(packet.eth)(
+            src_mac=self.mac, dst_mac=dst_mac, ethertype=packet.eth.ethertype
+        )
+        return self.send_packet(packet)
+
+    def send_packet(self, packet: Packet) -> bool:
+        """Transmit a pre-built packet out of the host port."""
+        self.tx_count += 1
+        return self.port.send(packet)
+
+    def on_packet(self, packet: Packet, ingress: Interface) -> None:
+        """Deliver to sniffers, then demux to the protocol handler."""
+        self.rx_count += 1
+        for sniffer in self._sniffers:
+            sniffer(packet)
+        if packet.ip is None:
+            return
+        addressed_to_me = packet.ip.dst_ip == self.ip
+        if not addressed_to_me and not self.promiscuous:
+            return
+        handler = self._protocol_handlers.get(packet.ip.protocol)
+        if handler is not None and addressed_to_me:
+            handler(packet)

@@ -1,0 +1,177 @@
+"""Byte-accurate full-duplex links with finite drop-tail queues.
+
+Each direction of a link models a serializing transmitter: a packet of
+``n`` bytes occupies the wire for ``8n / bandwidth_bps`` seconds, then
+arrives at the far end after the propagation delay.  Packets that find the
+transmit queue full are dropped (drop-tail), which is how a SYN flood
+congests benign traffic in these experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+
+if TYPE_CHECKING:
+    from repro.net.node import Interface
+
+
+@dataclass
+class LinkStats:
+    """Per-direction counters for one link endpoint."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_dropped: int = 0
+    packets_delivered: int = 0
+    packets_lost: int = 0  # random on-wire loss (loss_probability)
+
+    def drop_rate(self) -> float:
+        """Fraction of offered packets dropped at this endpoint's queue."""
+        offered = self.packets_sent + self.packets_dropped
+        return self.packets_dropped / offered if offered else 0.0
+
+
+class LinkEnd:
+    """One direction of a link: the transmit side at a given interface."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        delay_s: float,
+        queue_packets: int,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+        loss_probability: float = 0.0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        if queue_packets < 1:
+            raise ValueError("queue must hold at least one packet")
+        if not 0 <= loss_probability < 1:
+            raise ValueError("loss probability must be in [0, 1)")
+        if loss_probability > 0 and rng is None:
+            raise ValueError("lossy links need an rng")
+        self._sim = sim
+        self._bandwidth_bps = bandwidth_bps
+        self._delay_s = delay_s
+        self._queue_packets = queue_packets
+        self._on_drop = on_drop
+        self._loss_probability = loss_probability
+        self._rng = rng
+        self._queue: deque[Packet] = deque()
+        self._transmitting = False
+        self._peer: Optional["Interface"] = None
+        self.stats = LinkStats()
+
+    def attach_peer(self, peer: "Interface") -> None:
+        """Set the interface that receives this direction's packets."""
+        self._peer = peer
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets currently waiting (not counting one in serialization)."""
+        return len(self._queue)
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Seconds the packet occupies the wire."""
+        return packet.size_bytes * 8.0 / self._bandwidth_bps
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission; False if drop-tailed."""
+        if len(self._queue) >= self._queue_packets:
+            self.stats.packets_dropped += 1
+            if self._on_drop is not None:
+                self._on_drop(packet)
+            return False
+        self._queue.append(packet)
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet = self._queue.popleft()
+        tx_time = self.transmission_time(packet)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size_bytes
+        self._sim.schedule(tx_time, lambda p=packet: self._finish(p), "link.tx")
+
+    def _finish(self, packet: Packet) -> None:
+        if (
+            self._loss_probability > 0
+            and self._rng is not None
+            and self._rng.random() < self._loss_probability
+        ):
+            self.stats.packets_lost += 1
+        elif self._peer is not None:
+            self._sim.schedule(
+                self._delay_s, lambda p=packet: self._deliver(p), "link.propagate"
+            )
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        assert self._peer is not None
+        self._peer.deliver(packet)
+
+
+class Link:
+    """A full-duplex link joining two interfaces.
+
+    Construction wires both directions; each direction has an independent
+    transmitter, queue and counters, as on a physical cable.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Interface",
+        b: "Interface",
+        bandwidth_bps: float = 100e6,
+        delay_s: float = 0.001,
+        queue_packets: int = 100,
+        loss_probability: float = 0.0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.a = a
+        self.b = b
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self._a_to_b = LinkEnd(
+            sim, bandwidth_bps, delay_s, queue_packets,
+            loss_probability=loss_probability,
+            rng=rng.child("a2b") if rng is not None else None,
+        )
+        self._b_to_a = LinkEnd(
+            sim, bandwidth_bps, delay_s, queue_packets,
+            loss_probability=loss_probability,
+            rng=rng.child("b2a") if rng is not None else None,
+        )
+        self._a_to_b.attach_peer(b)
+        self._b_to_a.attach_peer(a)
+        a.attach_link(self, self._a_to_b)
+        b.attach_link(self, self._b_to_a)
+
+    def end_for(self, interface: "Interface") -> LinkEnd:
+        """The transmit side used when ``interface`` sends on this link."""
+        if interface is self.a:
+            return self._a_to_b
+        if interface is self.b:
+            return self._b_to_a
+        raise ValueError("interface is not attached to this link")
+
+    def stats_for(self, interface: "Interface") -> LinkStats:
+        """Transmit-direction stats for ``interface``."""
+        return self.end_for(interface).stats

@@ -1,0 +1,96 @@
+"""Nodes and interfaces: the attachment points of the data plane.
+
+A :class:`Node` owns numbered :class:`Interface` ports.  Hosts, switches
+and monitor taps all subclass ``Node`` and override ``on_packet`` to
+implement their forwarding / stack behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.net.link import Link, LinkEnd
+
+
+class Interface:
+    """A numbered port on a node, optionally cabled to a link."""
+
+    def __init__(self, node: "Node", port_no: int, mac: str = "") -> None:
+        self.node = node
+        self.port_no = port_no
+        self.mac = mac
+        self._link: Optional["Link"] = None
+        self._tx_end: Optional["LinkEnd"] = None
+        self.rx_packets = 0
+        self.tx_packets = 0
+
+    @property
+    def connected(self) -> bool:
+        """True once a link is attached."""
+        return self._link is not None
+
+    @property
+    def link(self) -> Optional["Link"]:
+        """The attached link, if any."""
+        return self._link
+
+    def attach_link(self, link: "Link", tx_end: "LinkEnd") -> None:
+        """Cable this interface; called by :class:`repro.net.link.Link`."""
+        if self._link is not None:
+            raise RuntimeError(
+                f"{self.node.name} port {self.port_no} is already cabled"
+            )
+        self._link = link
+        self._tx_end = tx_end
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit a packet out of this port; False if dropped or uncabled."""
+        if self._tx_end is None:
+            return False
+        self.tx_packets += 1
+        return self._tx_end.send(packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the link when a packet arrives at this port."""
+        self.rx_packets += 1
+        self.node.on_packet(packet, self)
+
+    def peer(self) -> Optional["Interface"]:
+        """The interface at the other end of the cable, if cabled."""
+        if self._link is None:
+            return None
+        return self._link.b if self._link.a is self else self._link.a
+
+
+class Node:
+    """Base class for anything with ports: hosts, switches, taps."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.interfaces: dict[int, Interface] = {}
+
+    def add_interface(self, port_no: int | None = None, mac: str = "") -> Interface:
+        """Create a new port (auto-numbered from 1 when not given)."""
+        if port_no is None:
+            port_no = max(self.interfaces, default=0) + 1
+        if port_no in self.interfaces:
+            raise ValueError(f"{self.name} already has port {port_no}")
+        interface = Interface(self, port_no, mac)
+        self.interfaces[port_no] = interface
+        return interface
+
+    def interface(self, port_no: int) -> Interface:
+        """Look up a port by number."""
+        return self.interfaces[port_no]
+
+    def on_packet(self, packet: Packet, ingress: Interface) -> None:
+        """Handle a packet arriving on ``ingress``; subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} ports={sorted(self.interfaces)}>"

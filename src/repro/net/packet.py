@@ -1,0 +1,224 @@
+"""The packet container that flows through links, switches and hosts.
+
+A :class:`Packet` carries the structured headers (for efficient flow-table
+matching inside the simulated OVS) *and* can serialize itself to wire bytes
+(for the DPI path).  ``parse_packet`` is the inverse, used by the inspector
+to prove the bytes genuinely round-trip.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    EthernetHeader,
+    HeaderError,
+    IcmpHeader,
+    IPv4Header,
+    TcpHeader,
+    UdpHeader,
+)
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A frame in flight: Ethernet + optional IPv4 + optional L4 header."""
+
+    eth: EthernetHeader
+    ip: Optional[IPv4Header] = None
+    tcp: Optional[TcpHeader] = None
+    udp: Optional[UdpHeader] = None
+    icmp: Optional[IcmpHeader] = None
+    payload: bytes = b""
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+
+    @classmethod
+    def tcp_packet(
+        cls,
+        src_mac: str,
+        dst_mac: str,
+        src_ip: str,
+        dst_ip: str,
+        tcp: TcpHeader,
+        payload: bytes = b"",
+        ttl: int = 64,
+        created_at: float = 0.0,
+    ) -> "Packet":
+        """Build a full Ethernet/IPv4/TCP packet with correct lengths."""
+        total_length = IPv4Header.LENGTH + TcpHeader.LENGTH + len(payload)
+        ip = IPv4Header(
+            src_ip=src_ip, dst_ip=dst_ip, protocol=PROTO_TCP, total_length=total_length, ttl=ttl
+        )
+        eth = EthernetHeader(src_mac=src_mac, dst_mac=dst_mac, ethertype=ETHERTYPE_IPV4)
+        return cls(eth=eth, ip=ip, tcp=tcp, payload=payload, created_at=created_at)
+
+    @classmethod
+    def udp_packet(
+        cls,
+        src_mac: str,
+        dst_mac: str,
+        src_ip: str,
+        dst_ip: str,
+        udp: UdpHeader,
+        payload: bytes = b"",
+        ttl: int = 64,
+        created_at: float = 0.0,
+    ) -> "Packet":
+        """Build a full Ethernet/IPv4/UDP packet with correct lengths."""
+        total_length = IPv4Header.LENGTH + UdpHeader.LENGTH + len(payload)
+        ip = IPv4Header(
+            src_ip=src_ip, dst_ip=dst_ip, protocol=PROTO_UDP, total_length=total_length, ttl=ttl
+        )
+        eth = EthernetHeader(src_mac=src_mac, dst_mac=dst_mac, ethertype=ETHERTYPE_IPV4)
+        return cls(eth=eth, ip=ip, udp=udp, payload=payload, created_at=created_at)
+
+    @classmethod
+    def icmp_packet(
+        cls,
+        src_mac: str,
+        dst_mac: str,
+        src_ip: str,
+        dst_ip: str,
+        icmp: IcmpHeader,
+        payload: bytes = b"",
+        ttl: int = 64,
+        created_at: float = 0.0,
+    ) -> "Packet":
+        """Build a full Ethernet/IPv4/ICMP packet with correct lengths."""
+        total_length = IPv4Header.LENGTH + IcmpHeader.LENGTH + len(payload)
+        ip = IPv4Header(
+            src_ip=src_ip, dst_ip=dst_ip, protocol=PROTO_ICMP, total_length=total_length, ttl=ttl
+        )
+        eth = EthernetHeader(src_mac=src_mac, dst_mac=dst_mac, ethertype=ETHERTYPE_IPV4)
+        return cls(eth=eth, ip=ip, icmp=icmp, payload=payload, created_at=created_at)
+
+    @property
+    def size_bytes(self) -> int:
+        """Frame size on the wire, used for link transmission timing."""
+        size = EthernetHeader.LENGTH
+        if self.ip is not None:
+            size += IPv4Header.LENGTH
+        if self.tcp is not None:
+            size += TcpHeader.LENGTH
+        elif self.udp is not None:
+            size += UdpHeader.LENGTH
+        elif self.icmp is not None:
+            size += IcmpHeader.LENGTH
+        return size + len(self.payload)
+
+    @property
+    def is_tcp(self) -> bool:
+        """True for Ethernet/IPv4/TCP packets."""
+        return self.tcp is not None
+
+    @property
+    def src_ip(self) -> str | None:
+        """IPv4 source if present."""
+        return self.ip.src_ip if self.ip is not None else None
+
+    @property
+    def dst_ip(self) -> str | None:
+        """IPv4 destination if present."""
+        return self.ip.dst_ip if self.ip is not None else None
+
+    def flow_key(self) -> tuple:
+        """5-tuple identifying the flow (for counters and DPI tables)."""
+        if self.tcp is not None and self.ip is not None:
+            return (self.ip.src_ip, self.tcp.src_port, self.ip.dst_ip,
+                    self.tcp.dst_port, PROTO_TCP)
+        if self.udp is not None and self.ip is not None:
+            return (self.ip.src_ip, self.udp.src_port, self.ip.dst_ip,
+                    self.udp.dst_port, PROTO_UDP)
+        if self.ip is not None:
+            return (self.ip.src_ip, 0, self.ip.dst_ip, 0, self.ip.protocol)
+        return (self.eth.src_mac, 0, self.eth.dst_mac, 0, -1)
+
+    def copy(self) -> "Packet":
+        """Shallow per-header copy with a fresh packet id (for mirroring)."""
+        return Packet(
+            eth=self.eth,
+            ip=self.ip,
+            tcp=self.tcp,
+            udp=self.udp,
+            icmp=self.icmp,
+            payload=self.payload,
+            created_at=self.created_at,
+        )
+
+    def forwarded(self) -> "Packet":
+        """Copy with TTL decremented, as an L3 hop would produce."""
+        if self.ip is None:
+            return self.copy()
+        clone = self.copy()
+        clone.ip = self.ip.decrement_ttl()
+        return clone
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole frame to wire format."""
+        parts = [self.eth.pack()]
+        if self.ip is not None:
+            parts.append(self.ip.pack())
+            if self.tcp is not None:
+                parts.append(self.tcp.pack(self.ip.src_ip, self.ip.dst_ip, self.payload))
+            elif self.udp is not None:
+                parts.append(self.udp.pack(self.ip.src_ip, self.ip.dst_ip, self.payload))
+            elif self.icmp is not None:
+                parts.append(self.icmp.pack(self.payload))
+            else:
+                parts.append(self.payload)
+        else:
+            parts.append(self.payload)
+        return b"".join(parts)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for traces."""
+        if self.tcp is not None and self.ip is not None:
+            return (
+                f"TCP {self.ip.src_ip}:{self.tcp.src_port} -> "
+                f"{self.ip.dst_ip}:{self.tcp.dst_port} [{self.tcp.flag_names()}]"
+            )
+        if self.udp is not None and self.ip is not None:
+            return f"UDP {self.ip.src_ip}:{self.udp.src_port} -> {self.ip.dst_ip}:{self.udp.dst_port}"
+        if self.icmp is not None and self.ip is not None:
+            return f"ICMP type={self.icmp.icmp_type} {self.ip.src_ip} -> {self.ip.dst_ip}"
+        return f"ETH {self.eth.src_mac} -> {self.eth.dst_mac} type=0x{self.eth.ethertype:04x}"
+
+
+def parse_packet(raw: bytes, verify: bool = True) -> Packet:
+    """Parse wire bytes back into a :class:`Packet`.
+
+    This is the DPI entry point: the inspector receives mirrored frames as
+    bytes and reconstructs the header stack, verifying checksums unless
+    ``verify`` is False.
+    """
+    eth, rest = EthernetHeader.unpack(raw)
+    packet = Packet(eth=eth, payload=rest)
+    if eth.ethertype != ETHERTYPE_IPV4:
+        return packet
+    ip, l4 = IPv4Header.unpack(rest)
+    packet.ip = ip
+    l4 = l4[: max(0, ip.total_length - IPv4Header.LENGTH)] if ip.total_length else l4
+    if ip.protocol == PROTO_TCP:
+        tcp, payload = TcpHeader.unpack(l4, ip.src_ip, ip.dst_ip, verify=verify)
+        packet.tcp = tcp
+        packet.payload = payload
+    elif ip.protocol == PROTO_UDP:
+        udp, payload = UdpHeader.unpack(l4, ip.src_ip, ip.dst_ip, verify=verify)
+        packet.udp = udp
+        packet.payload = payload
+    elif ip.protocol == PROTO_ICMP:
+        icmp, payload = IcmpHeader.unpack(l4, verify=verify)
+        packet.icmp = icmp
+        packet.payload = payload
+    else:
+        packet.payload = l4
+    return packet

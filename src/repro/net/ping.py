@@ -1,0 +1,120 @@
+"""ICMP echo: the slice's reachability and RTT measurement tool.
+
+``PingService`` makes a host answer echo requests and exposes a
+``ping()`` primitive that sends a probe train and reports per-probe RTTs
+— the in-simulator `ping` used to validate topologies and to measure the
+latency cost of mitigation rules on the path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.headers import PROTO_ICMP, IcmpHeader
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.process import Timer
+
+_ping_ids = itertools.count(1)
+
+
+@dataclass
+class PingResult:
+    """Outcome of one probe train."""
+
+    target_ip: str
+    sent: int = 0
+    received: int = 0
+    rtts: list[float] = field(default_factory=list)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of probes that never came back."""
+        return 1.0 - (self.received / self.sent) if self.sent else 0.0
+
+    @property
+    def mean_rtt(self) -> float:
+        """Mean round-trip time of answered probes (0.0 if none)."""
+        return sum(self.rtts) / len(self.rtts) if self.rtts else 0.0
+
+
+@dataclass
+class _Probe:
+    sent_at: float
+    result: PingResult
+
+
+class PingService:
+    """Echo responder + prober bound to one host."""
+
+    def __init__(self, host: Host, timeout_s: float = 2.0) -> None:
+        self.host = host
+        self.timeout_s = timeout_s
+        self.requests_answered = 0
+        self._pending: dict[tuple[int, int], _Probe] = {}
+        host.register_protocol(PROTO_ICMP, self._on_icmp)
+
+    def ping(
+        self,
+        target_ip: str,
+        count: int = 4,
+        interval_s: float = 0.25,
+        on_complete: Optional[Callable[[PingResult], None]] = None,
+    ) -> PingResult:
+        """Send ``count`` echo requests; the result object fills in as
+        replies arrive and ``on_complete`` fires after the last timeout."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        identifier = next(_ping_ids)
+        result = PingResult(target_ip=target_ip)
+
+        def fire(seq: int) -> None:
+            result.sent += 1
+            self._pending[(identifier, seq)] = _Probe(
+                sent_at=self.host.sim.now, result=result
+            )
+            self.host.send_icmp(
+                target_ip,
+                IcmpHeader(IcmpHeader.ECHO_REQUEST, identifier=identifier, sequence=seq),
+                payload=b"\x00" * 32,
+            )
+            self.host.sim.schedule(
+                self.timeout_s, lambda: self._expire(identifier, seq), "ping.timeout"
+            )
+
+        for seq in range(count):
+            self.host.sim.schedule(seq * interval_s, lambda s=seq: fire(s), "ping.send")
+        if on_complete is not None:
+            self.host.sim.schedule(
+                (count - 1) * interval_s + self.timeout_s + 1e-6,
+                lambda: on_complete(result),
+                "ping.complete",
+            )
+        return result
+
+    # ------------------------------------------------------------ inbound
+
+    def _on_icmp(self, packet: Packet) -> None:
+        assert packet.icmp is not None and packet.ip is not None
+        header = packet.icmp
+        if header.icmp_type == IcmpHeader.ECHO_REQUEST:
+            self.requests_answered += 1
+            self.host.send_icmp(
+                packet.ip.src_ip,
+                IcmpHeader(
+                    IcmpHeader.ECHO_REPLY,
+                    identifier=header.identifier,
+                    sequence=header.sequence,
+                ),
+                payload=packet.payload,
+            )
+        elif header.icmp_type == IcmpHeader.ECHO_REPLY:
+            probe = self._pending.pop((header.identifier, header.sequence), None)
+            if probe is not None:
+                probe.result.received += 1
+                probe.result.rtts.append(self.host.sim.now - probe.sent_at)
+
+    def _expire(self, identifier: int, seq: int) -> None:
+        self._pending.pop((identifier, seq), None)

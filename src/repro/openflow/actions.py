@@ -1,0 +1,110 @@
+"""Flow-entry actions.
+
+The subset Open vSwitch offers that the paper's pipeline needs:
+
+* ``Output(port)`` — forward out a port.
+* ``Flood`` — out every port except ingress (learning-switch misses).
+* ``ToController`` — punt to the controller (table-miss and tripwires).
+* ``Mirror(port)`` — copy the packet to a SPAN port.  Semantically this is
+  just another Output, but it is kept distinct so the switch's workload
+  accountant can attribute inspection load separately (claim C3).
+* ``Drop`` — explicit discard (mitigation rules).
+* ``RateLimit(pps)`` — OVS ingress-policing approximation, a token bucket
+  evaluated per flow entry; the victim-shield mitigation mode uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Action:
+    """Marker base class for actions."""
+
+    def describe(self) -> str:
+        """Textual form for table dumps."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Output(Action):
+    """Forward the packet out of ``port``."""
+
+    port: int
+
+    def describe(self) -> str:
+        return f"output:{self.port}"
+
+
+@dataclass(frozen=True)
+class Flood(Action):
+    """Forward out of every port except the ingress port."""
+
+    def describe(self) -> str:
+        return "flood"
+
+
+@dataclass(frozen=True)
+class ToController(Action):
+    """Punt the packet to the controller as a PacketIn."""
+
+    max_bytes: int = 128
+
+    def describe(self) -> str:
+        return f"controller:{self.max_bytes}"
+
+
+@dataclass(frozen=True)
+class Mirror(Action):
+    """Copy the packet to a SPAN port for deep inspection."""
+
+    port: int
+
+    def describe(self) -> str:
+        return f"mirror:{self.port}"
+
+
+@dataclass(frozen=True)
+class Drop(Action):
+    """Discard the packet (mitigation)."""
+
+    def describe(self) -> str:
+        return "drop"
+
+
+@dataclass
+class RateLimit(Action):
+    """Token-bucket policer: pass up to ``pps`` packets/second, drop excess.
+
+    Mutable by design — the bucket state lives with the action instance on
+    its flow entry, as OVS keeps policer state with the QoS record.
+    """
+
+    pps: float
+    burst: float = 0.0
+    _tokens: float = field(default=0.0, repr=False)
+    _last_refill: float = field(default=0.0, repr=False)
+    passed: int = 0
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pps <= 0:
+            raise ValueError("pps must be positive")
+        if self.burst <= 0:
+            self.burst = max(1.0, self.pps / 10.0)
+        self._tokens = self.burst
+
+    def admit(self, now: float) -> bool:
+        """Refill the bucket to ``now`` and consume one token if available."""
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.pps)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.passed += 1
+            return True
+        self.dropped += 1
+        return False
+
+    def describe(self) -> str:
+        return f"rate-limit:{self.pps:g}pps"

@@ -1,0 +1,105 @@
+"""The switch <-> controller control channel.
+
+On GENI the controller talked to each OVS over a TCP session with real
+network latency; detection and mitigation response times include those
+hops.  ``ControlChannel`` models that: each direction delivers messages
+after a configurable latency plus a serialization term derived from the
+message's approximate wire size, preserving ordering per direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.openflow.messages import Message
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.controller.base import Controller
+    from repro.switch.ovs import OpenFlowSwitch
+
+
+@dataclass
+class ChannelStats:
+    """Per-direction control-channel counters."""
+
+    to_controller_msgs: int = 0
+    to_controller_bytes: int = 0
+    to_switch_msgs: int = 0
+    to_switch_bytes: int = 0
+    dropped_while_down: int = 0
+
+
+class ControlChannel:
+    """A latency-modelled, order-preserving duplex message channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_s: float = 0.002,
+        bandwidth_bps: float = 1e9,
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._sim = sim
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self._switch: "OpenFlowSwitch | None" = None
+        self._controller: "Controller | None" = None
+        self.stats = ChannelStats()
+        # Outage switch: while down, messages in both directions vanish
+        # (the TCP session to the controller is broken).  Installed flow
+        # entries keep forwarding — OpenFlow fail-secure semantics.
+        self.down = False
+        # Earliest time each direction is free, preserving FIFO ordering.
+        self._controller_bound_free_at = 0.0
+        self._switch_bound_free_at = 0.0
+
+    def connect(self, switch: "OpenFlowSwitch", controller: "Controller") -> None:
+        """Bind both endpoints (done by the topology builder)."""
+        self._switch = switch
+        self._controller = controller
+
+    def _delivery_delay(self, message: Message, free_at: float) -> tuple[float, float]:
+        serialize = message.wire_size() * 8.0 / self.bandwidth_bps
+        start = max(self._sim.now, free_at)
+        done = start + serialize
+        return done - self._sim.now + self.latency_s, done
+
+    def set_down(self, down: bool) -> None:
+        """Break or restore the control session (fail-secure outage)."""
+        self.down = down
+
+    def to_controller(self, message: Message) -> None:
+        """Switch -> controller, after latency + serialization."""
+        if self._controller is None:
+            return
+        if self.down:
+            self.stats.dropped_while_down += 1
+            return
+        self.stats.to_controller_msgs += 1
+        self.stats.to_controller_bytes += message.wire_size()
+        delay, done = self._delivery_delay(message, self._controller_bound_free_at)
+        self._controller_bound_free_at = done
+        controller = self._controller
+        switch = self._switch
+        self._sim.schedule(
+            delay, lambda: controller.handle_message(switch, message), "ofchan.up"
+        )
+
+    def to_switch(self, message: Message) -> None:
+        """Controller -> switch, after latency + serialization."""
+        if self._switch is None:
+            return
+        if self.down:
+            self.stats.dropped_while_down += 1
+            return
+        self.stats.to_switch_msgs += 1
+        self.stats.to_switch_bytes += message.wire_size()
+        delay, done = self._delivery_delay(message, self._switch_bound_free_at)
+        self._switch_bound_free_at = done
+        switch = self._switch
+        self._sim.schedule(delay, lambda: switch.handle_message(message), "ofchan.down")

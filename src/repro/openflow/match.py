@@ -1,0 +1,120 @@
+"""The OpenFlow 1.0 twelve-tuple match (minus VLAN fields).
+
+``None`` in a field means wildcard.  IP fields accept either an exact
+address (``"10.0.0.5"``) or a CIDR prefix (``"10.0.0.0/24"``), which is
+how the SPI coordinator scopes a mirror rule to a victim aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.net.addresses import ip_in_subnet
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class Match:
+    """A flow-table match; all fields optional (``None`` = wildcard)."""
+
+    in_port: Optional[int] = None
+    eth_src: Optional[str] = None
+    eth_dst: Optional[str] = None
+    eth_type: Optional[int] = None
+    ip_src: Optional[str] = None
+    ip_dst: Optional[str] = None
+    ip_proto: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+
+    @classmethod
+    def any(cls) -> "Match":
+        """The all-wildcard match (table-miss rules)."""
+        return cls()
+
+    def specificity(self) -> int:
+        """Number of constrained fields; used for human-readable dumps."""
+        return sum(1 for f in fields(self) if getattr(self, f.name) is not None)
+
+    def matches(self, packet: Packet, in_port: int) -> bool:
+        """True if ``packet`` arriving on ``in_port`` satisfies the match."""
+        if self.in_port is not None and in_port != self.in_port:
+            return False
+        if self.eth_src is not None and packet.eth.src_mac != self.eth_src:
+            return False
+        if self.eth_dst is not None and packet.eth.dst_mac != self.eth_dst:
+            return False
+        if self.eth_type is not None and packet.eth.ethertype != self.eth_type:
+            return False
+        if self.ip_src is not None or self.ip_dst is not None or self.ip_proto is not None:
+            if packet.ip is None:
+                return False
+            if self.ip_src is not None and not _ip_field_matches(packet.ip.src_ip, self.ip_src):
+                return False
+            if self.ip_dst is not None and not _ip_field_matches(packet.ip.dst_ip, self.ip_dst):
+                return False
+            if self.ip_proto is not None and packet.ip.protocol != self.ip_proto:
+                return False
+        if self.tp_src is not None or self.tp_dst is not None:
+            sport, dport = _transport_ports(packet)
+            if sport is None:
+                return False
+            if self.tp_src is not None and sport != self.tp_src:
+                return False
+            if self.tp_dst is not None and dport != self.tp_dst:
+                return False
+        return True
+
+    def subsumes(self, other: "Match") -> bool:
+        """True if every packet matching ``other`` also matches ``self``.
+
+        Used for OFPFC_DELETE with a filter match, as OVS implements it.
+        """
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            if mine is None:
+                continue
+            theirs = getattr(other, f.name)
+            if theirs is None:
+                return False
+            if f.name in ("ip_src", "ip_dst"):
+                if not _prefix_subsumes(mine, theirs):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def describe(self) -> str:
+        """Compact textual form for traces and table dumps."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is not None:
+                parts.append(f"{f.name}={value}")
+        return ",".join(parts) if parts else "*"
+
+
+def _ip_field_matches(address: str, field_value: str) -> bool:
+    if "/" in field_value:
+        return ip_in_subnet(address, field_value)
+    return address == field_value
+
+
+def _prefix_subsumes(mine: str, theirs: str) -> bool:
+    """Does my (possibly CIDR) field cover their (possibly CIDR) field?"""
+    mine_net, _, mine_len = mine.partition("/")
+    theirs_net, _, theirs_len = theirs.partition("/")
+    mine_prefix = int(mine_len) if mine_len else 32
+    theirs_prefix = int(theirs_len) if theirs_len else 32
+    if theirs_prefix < mine_prefix:
+        return False
+    return ip_in_subnet(theirs_net, f"{mine_net}/{mine_prefix}")
+
+
+def _transport_ports(packet: Packet) -> tuple[Optional[int], Optional[int]]:
+    if packet.tcp is not None:
+        return packet.tcp.src_port, packet.tcp.dst_port
+    if packet.udp is not None:
+        return packet.udp.src_port, packet.udp.dst_port
+    return None, None

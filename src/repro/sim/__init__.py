@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulation engine.
+
+This package is the substrate that replaces the GENI testbed / Mininet in
+the original paper: a single-threaded, seeded, discrete-event simulator on
+which the network, switches, controller, monitors and workloads all run.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator, SimulationError
+from repro.sim.process import Interval, PeriodicTask, Timer
+from repro.sim.rng import SeededRng
+from repro.sim.trace import TraceEntry, Tracer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "Timer",
+    "PeriodicTask",
+    "Interval",
+    "SeededRng",
+    "Tracer",
+    "TraceEntry",
+]

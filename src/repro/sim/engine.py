@@ -1,0 +1,175 @@
+"""Core discrete-event simulation engine.
+
+The engine is a classic calendar-queue simulator: callbacks are scheduled at
+absolute simulated times and executed in time order.  Ties are broken by a
+monotonically increasing sequence number so that events scheduled earlier run
+earlier, which keeps every run fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid use of the simulator (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, seq)``.  ``seq`` is assigned by the queue
+    and guarantees FIFO execution among events scheduled for the same instant.
+    """
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it is popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A cancellable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, time: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Insert a callback at absolute ``time`` and return its event handle."""
+        event = Event(time=time, seq=self._seq, fn=fn, label=label)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the time of the earliest non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Account for an event cancelled via its handle."""
+        self._live -= 1
+
+
+class Simulator:
+    """Single-threaded deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("one second in"))
+        sim.run(until=10.0)
+
+    All components in this repository (links, switches, controller apps,
+    monitors, traffic generators) schedule their work on one shared
+    ``Simulator`` so the whole network advances on a single virtual clock.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback after
+        all previously scheduled zero-delay work (FIFO within an instant).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        return self._queue.push(self._now + delay, fn, label)
+
+    def schedule_at(self, time: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` at absolute simulated ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, clock already at {self._now!r}"
+            )
+        return self._queue.push(time, fn, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event; cancelling twice is a no-op."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute events in time order.
+
+        Args:
+            until: stop once the clock would pass this time (the clock is
+                left at ``until`` if supplied, matching wall-clock runs of a
+                testbed for a fixed duration).
+            max_events: safety valve for runaway schedules.
+
+        Returns:
+            The simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.fn()
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of events still waiting to execute."""
+        return len(self._queue)

@@ -1,0 +1,171 @@
+"""Higher-level scheduling helpers built on the raw event queue.
+
+These mirror the idioms a Ryu/POX application would use on a real
+controller: one-shot timers (``Timer``), fixed-rate polling loops
+(``PeriodicTask``) and jittered inter-arrival processes (``Interval``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import SeededRng
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    Used for TCP SYN-retransmission timeouts, flow-rule expiry, monitor
+    window closes, and verification deadlines.
+    """
+
+    def __init__(self, sim: Simulator, fn: Callable[[], None], label: str = "") -> None:
+        self._sim = sim
+        self._fn = fn
+        self._label = label
+        self._event: Event | None = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire, self._label)
+
+    def cancel(self) -> None:
+        """Disarm the timer if pending."""
+        if self._event is not None and not self._event.cancelled:
+            self._sim.cancel(self._event)
+        self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._fn()
+
+
+class PeriodicTask:
+    """Run a callback every ``period`` seconds until stopped.
+
+    The next tick is scheduled *before* the callback runs, so a callback
+    that itself stops the task does not resurrect it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[[], None],
+        label: str = "",
+        start_immediately: bool = False,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._sim = sim
+        self._period = period
+        self._fn = fn
+        self._label = label
+        self._event: Event | None = None
+        self._running = False
+        self.ticks = 0
+        if start_immediately:
+            self.start()
+
+    @property
+    def running(self) -> bool:
+        """True while ticks continue to be scheduled."""
+        return self._running
+
+    def start(self, initial_delay: float | None = None) -> None:
+        """Begin ticking; first tick after ``initial_delay`` (default period)."""
+        if self._running:
+            return
+        self._running = True
+        delay = self._period if initial_delay is None else initial_delay
+        self._event = self._sim.schedule(delay, self._tick, self._label)
+
+    def stop(self) -> None:
+        """Stop ticking; any in-flight tick event is cancelled."""
+        self._running = False
+        if self._event is not None and not self._event.cancelled:
+            self._sim.cancel(self._event)
+        self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._event = self._sim.schedule(self._period, self._tick, self._label)
+        self.ticks += 1
+        self._fn()
+
+
+class Interval:
+    """A stochastic arrival process: call ``fn`` with random spacing.
+
+    Used by traffic generators.  ``gap_fn`` draws the next inter-arrival
+    time; exponential gaps give a Poisson process, constant gaps a CBR
+    stream (the shape hping3 produces with ``-i``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gap_fn: Callable[[], float],
+        fn: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        self._sim = sim
+        self._gap_fn = gap_fn
+        self._fn = fn
+        self._label = label
+        self._event: Event | None = None
+        self._running = False
+        self.arrivals = 0
+
+    @classmethod
+    def poisson(
+        cls, sim: Simulator, rng: SeededRng, rate: float, fn: Callable[[], None], label: str = ""
+    ) -> "Interval":
+        """Poisson arrivals at ``rate`` events per simulated second."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        return cls(sim, lambda: rng.expovariate(rate), fn, label)
+
+    @classmethod
+    def constant(
+        cls, sim: Simulator, rate: float, fn: Callable[[], None], label: str = ""
+    ) -> "Interval":
+        """Constant-bit-rate arrivals at ``rate`` events per second."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        gap = 1.0 / rate
+        return cls(sim, lambda: gap, fn, label)
+
+    @property
+    def running(self) -> bool:
+        """True while arrivals continue."""
+        return self._running
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        """Begin the arrival process after ``initial_delay`` seconds."""
+        if self._running:
+            return
+        self._running = True
+        self._event = self._sim.schedule(initial_delay + self._gap_fn(), self._arrive, self._label)
+
+    def stop(self) -> None:
+        """Halt the arrival process."""
+        self._running = False
+        if self._event is not None and not self._event.cancelled:
+            self._sim.cancel(self._event)
+        self._event = None
+
+    def _arrive(self) -> None:
+        if not self._running:
+            return
+        self._event = self._sim.schedule(self._gap_fn(), self._arrive, self._label)
+        self.arrivals += 1
+        self._fn()

@@ -1,0 +1,75 @@
+"""Structured event tracing.
+
+The tracer is the in-simulation equivalent of the experiment logs the
+authors collected on GENI: every component appends typed entries
+(packet drops, alerts, verdicts, flow-mods, mitigations) that the metrics
+layer later reduces into the tables and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One timestamped, categorized trace record."""
+
+    time: float
+    category: str
+    message: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceEntry` records and serves filtered views."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._entries: list[TraceEntry] = []
+        self._listeners: list[Callable[[TraceEntry], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def emit(self, category: str, message: str, **data: Any) -> TraceEntry:
+        """Record an entry at the current simulated time."""
+        entry = TraceEntry(time=self._clock(), category=category, message=message, data=data)
+        self._entries.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+        return entry
+
+    def subscribe(self, listener: Callable[[TraceEntry], None]) -> None:
+        """Register a callback invoked synchronously on every emit."""
+        self._listeners.append(listener)
+
+    def entries(self, category: str | None = None) -> list[TraceEntry]:
+        """All entries, optionally filtered to one category."""
+        if category is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.category == category]
+
+    def iter_between(
+        self, start: float, end: float, category: str | None = None
+    ) -> Iterator[TraceEntry]:
+        """Yield entries with ``start <= time < end``."""
+        for entry in self._entries:
+            if start <= entry.time < end and (category is None or entry.category == category):
+                yield entry
+
+    def first(self, category: str, after: float = 0.0) -> TraceEntry | None:
+        """Earliest entry of ``category`` at or after ``after``, if any."""
+        for entry in self._entries:
+            if entry.category == category and entry.time >= after:
+                return entry
+        return None
+
+    def count(self, category: str) -> int:
+        """Number of entries in ``category``."""
+        return sum(1 for e in self._entries if e.category == category)
+
+    def clear(self) -> None:
+        """Drop all recorded entries (listeners are kept)."""
+        self._entries.clear()

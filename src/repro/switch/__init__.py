@@ -1,0 +1,17 @@
+"""The Open vSwitch stand-in: an OpenFlow datapath with a CPU cost model.
+
+``OpenFlowSwitch`` forwards packets through its flow table, punts misses
+to the controller, mirrors to SPAN ports on demand, and charges every
+operation to a :class:`WorkloadMeter` so experiment E3 can compare the
+inspection workload of selective vs always-on DPI.
+"""
+
+from repro.switch.workload import WorkloadCosts, WorkloadMeter
+from repro.switch.ovs import OpenFlowSwitch, SwitchCounters
+
+__all__ = [
+    "OpenFlowSwitch",
+    "SwitchCounters",
+    "WorkloadCosts",
+    "WorkloadMeter",
+]

@@ -1,0 +1,49 @@
+"""TCP connection states (RFC 793 subset used by this stack)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TcpState(enum.Enum):
+    """The states a :class:`repro.tcp.socket.Connection` moves through."""
+
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RECEIVED = "SYN_RECEIVED"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    LAST_ACK = "LAST_ACK"
+    CLOSING = "CLOSING"
+    TIME_WAIT = "TIME_WAIT"
+
+    @property
+    def half_open(self) -> bool:
+        """True for the embryonic server-side state a SYN flood fills."""
+        return self is TcpState.SYN_RECEIVED
+
+    @property
+    def open(self) -> bool:
+        """True once the 3-way handshake has completed."""
+        return self in _OPEN_STATES
+
+    @property
+    def terminal(self) -> bool:
+        """True when the connection no longer processes segments."""
+        return self is TcpState.CLOSED
+
+
+_OPEN_STATES = frozenset(
+    {
+        TcpState.ESTABLISHED,
+        TcpState.FIN_WAIT_1,
+        TcpState.FIN_WAIT_2,
+        TcpState.CLOSE_WAIT,
+        TcpState.LAST_ACK,
+        TcpState.CLOSING,
+        TcpState.TIME_WAIT,
+    }
+)

@@ -1,0 +1,36 @@
+"""Topology construction: the GENI-slice builder and standard shapes."""
+
+from repro.topology.analysis import (
+    CoverageReport,
+    fabric_summary,
+    path_coverage,
+    recommend_monitor_placement,
+    switch_graph,
+)
+from repro.topology.builder import LinkSpec, Network
+from repro.topology.standard import (
+    dumbbell,
+    fat_tree,
+    linear,
+    random_tree,
+    single_switch,
+    star,
+    tree,
+)
+
+__all__ = [
+    "Network",
+    "LinkSpec",
+    "single_switch",
+    "dumbbell",
+    "star",
+    "linear",
+    "tree",
+    "fat_tree",
+    "random_tree",
+    "switch_graph",
+    "path_coverage",
+    "CoverageReport",
+    "recommend_monitor_placement",
+    "fabric_summary",
+]

@@ -1,0 +1,209 @@
+"""Flood attack generators (the hping3 stand-in).
+
+``SynFloodAttacker`` crafts raw SYN segments below the TCP stack —
+spoofed source addresses from a configurable pool, random source ports
+and sequence numbers, at a configurable rate with optional ramp-up —
+exactly the packet stream ``hping3 -S --flood --rand-source`` produces on
+a testbed.  ``UdpFloodAttacker`` provides the volumetric comparison
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.headers import TCP_SYN, TcpHeader, UdpHeader
+from repro.net.host import Host
+from repro.sim.process import Interval
+from repro.sim.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class AttackSchedule:
+    """When the attack runs (relative to simulation start).
+
+    ``pulse_on_s``/``pulse_off_s`` turn the flood into a pulsing (on-off)
+    attack — the classic evasion against duty-cycled inspection, used in
+    experiment E8.  ``ramp_s`` ramps the rate linearly from zero at
+    onset, the low-and-slow shape CUSUM-style detectors exist for.
+    """
+
+    start_s: float = 0.0
+    duration_s: float = float("inf")
+    ramp_s: float = 0.0  # linear rate ramp from 0 to full over this period
+    pulse_on_s: float = 0.0  # 0 = continuous
+    pulse_off_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.pulse_on_s > 0) != (self.pulse_off_s > 0):
+            raise ValueError("pulsing needs both pulse_on_s and pulse_off_s")
+
+    def rate_multiplier(self, now: float) -> float:
+        """Fraction of the nominal rate active at ``now``."""
+        if now < self.start_s or now >= self.start_s + self.duration_s:
+            return 0.0
+        if self.pulse_on_s > 0:
+            phase = (now - self.start_s) % (self.pulse_on_s + self.pulse_off_s)
+            if phase >= self.pulse_on_s:
+                return 0.0
+        if self.ramp_s > 0 and now < self.start_s + self.ramp_s:
+            return (now - self.start_s) / self.ramp_s
+        return 1.0
+
+
+@dataclass(frozen=True)
+class SynFloodConfig:
+    """SYN flood parameters."""
+
+    victim_ip: str = ""
+    victim_port: int = 80
+    rate_pps: float = 200.0
+    spoof: bool = True
+    spoof_prefix: str = "198.18."  # RFC 2544 benchmark range: never real hosts
+    spoof_pool_size: int = 0  # 0 = unbounded random (hping3 --rand-source)
+    schedule: AttackSchedule = field(default_factory=AttackSchedule)
+
+    def __post_init__(self) -> None:
+        if self.rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if self.spoof_pool_size < 0:
+            raise ValueError("spoof pool size must be >= 0")
+
+
+class SynFloodAttacker:
+    """Raw SYN generator attached to one attacking host."""
+
+    def __init__(self, host: Host, rng: SeededRng, config: SynFloodConfig) -> None:
+        if not config.victim_ip:
+            raise ValueError("victim_ip is required")
+        self.host = host
+        self.rng = rng
+        self.config = config
+        self.packets_sent = 0
+        self.packets_rejected = 0  # NIC-level drops (link queue full)
+        self._spoof_pool: list[str] = []
+        if config.spoof and config.spoof_pool_size > 0:
+            self._spoof_pool = [
+                rng.random_ipv4(config.spoof_prefix) for _ in range(config.spoof_pool_size)
+            ]
+        self._interval: Optional[Interval] = None
+
+    def start(self) -> None:
+        """Arm the generator; packets begin at ``schedule.start_s``."""
+        if self._interval is not None:
+            return
+        self._interval = Interval.poisson(
+            self.host.sim,
+            self.rng,
+            self.config.rate_pps,
+            self._fire,
+            f"synflood.{self.host.name}",
+        )
+        self._interval.start(initial_delay=self.config.schedule.start_s)
+        end = self.config.schedule.start_s + self.config.schedule.duration_s
+        if end != float("inf"):
+            self.host.sim.schedule(end, self.stop, "synflood.end")
+
+    def stop(self) -> None:
+        """Cease fire."""
+        if self._interval is not None:
+            self._interval.stop()
+            self._interval = None
+
+    def _fire(self) -> None:
+        multiplier = self.config.schedule.rate_multiplier(self.host.sim.now)
+        if multiplier <= 0.0:
+            return
+        if multiplier < 1.0 and self.rng.random() > multiplier:
+            return  # thinning realizes the ramp
+        header = TcpHeader(
+            src_port=self.rng.randint(1024, 65535),
+            dst_port=self.config.victim_port,
+            seq=self.rng.randint(0, 0xFFFFFFFF),
+            flags=TCP_SYN,
+        )
+        src_ip = self._source_ip()
+        sent = self.host.send_tcp(self.config.victim_ip, header, src_ip=src_ip)
+        if sent:
+            self.packets_sent += 1
+        else:
+            self.packets_rejected += 1
+
+    def _source_ip(self) -> Optional[str]:
+        if not self.config.spoof:
+            return None  # use the host's real address
+        if self._spoof_pool:
+            return self.rng.choice(self._spoof_pool)
+        return self.rng.random_ipv4(self.config.spoof_prefix)
+
+
+@dataclass(frozen=True)
+class UdpFloodConfig:
+    """UDP flood parameters."""
+
+    victim_ip: str = ""
+    victim_port: int = 53
+    rate_pps: float = 500.0
+    payload_bytes: int = 512
+    spoof: bool = True
+    spoof_prefix: str = "198.18."
+    schedule: AttackSchedule = field(default_factory=AttackSchedule)
+
+    def __post_init__(self) -> None:
+        if self.rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if self.payload_bytes < 0:
+            raise ValueError("payload must be >= 0 bytes")
+
+
+class UdpFloodAttacker:
+    """Volumetric UDP generator attached to one attacking host."""
+
+    def __init__(self, host: Host, rng: SeededRng, config: UdpFloodConfig) -> None:
+        if not config.victim_ip:
+            raise ValueError("victim_ip is required")
+        self.host = host
+        self.rng = rng
+        self.config = config
+        self.packets_sent = 0
+        self.packets_rejected = 0
+        self._interval: Optional[Interval] = None
+
+    def start(self) -> None:
+        """Arm the generator; packets begin at ``schedule.start_s``."""
+        if self._interval is not None:
+            return
+        self._interval = Interval.poisson(
+            self.host.sim,
+            self.rng,
+            self.config.rate_pps,
+            self._fire,
+            f"udpflood.{self.host.name}",
+        )
+        self._interval.start(initial_delay=self.config.schedule.start_s)
+        end = self.config.schedule.start_s + self.config.schedule.duration_s
+        if end != float("inf"):
+            self.host.sim.schedule(end, self.stop, "udpflood.end")
+
+    def stop(self) -> None:
+        """Cease fire."""
+        if self._interval is not None:
+            self._interval.stop()
+            self._interval = None
+
+    def _fire(self) -> None:
+        if self.config.schedule.rate_multiplier(self.host.sim.now) <= 0.0:
+            return
+        header = UdpHeader(
+            src_port=self.rng.randint(1024, 65535), dst_port=self.config.victim_port
+        )
+        src_ip = (
+            self.rng.random_ipv4(self.config.spoof_prefix) if self.config.spoof else None
+        )
+        payload = bytes(self.config.payload_bytes)
+        sent = self.host.send_udp(self.config.victim_ip, header, payload, src_ip=src_ip)
+        if sent:
+            self.packets_sent += 1
+        else:
+            self.packets_rejected += 1

@@ -1,0 +1,98 @@
+"""Flash crowd generation: the benign event that fools rate detectors.
+
+A flash crowd is a sudden surge of *legitimate* connections — a link goes
+viral, a sale opens.  Its SYN rate can match a flood's, so threshold
+monitors false-alarm on it; but every handshake completes, so deep
+inspection refutes the alarm.  Experiment E6 uses this generator to
+measure exactly that separation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.process import Interval
+from repro.sim.rng import SeededRng
+from repro.tcp.socket import Connection
+from repro.tcp.stack import TcpStack
+
+
+@dataclass(frozen=True)
+class FlashCrowdConfig:
+    """Flash crowd shape."""
+
+    server_ip: str = ""
+    server_port: int = 80
+    start_s: float = 5.0
+    duration_s: float = 10.0
+    connections_per_second: float = 150.0
+    request_bytes: int = 120
+
+    def __post_init__(self) -> None:
+        if self.connections_per_second <= 0:
+            raise ValueError("rate must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+
+
+class FlashCrowd:
+    """Drives a burst of short-lived legitimate connections.
+
+    The burst is spread over the given stacks (crowd hosts) round-robin,
+    so the connections originate from several genuine addresses that all
+    complete their handshakes.
+    """
+
+    def __init__(
+        self,
+        stacks: list[TcpStack],
+        rng: SeededRng,
+        config: FlashCrowdConfig,
+    ) -> None:
+        if not stacks:
+            raise ValueError("need at least one crowd host")
+        if not config.server_ip:
+            raise ValueError("server_ip is required")
+        self.stacks = stacks
+        self.rng = rng
+        self.config = config
+        self.connections_started = 0
+        self.connections_completed = 0
+        self.connections_failed = 0
+        self._next_stack = 0
+        sim = stacks[0].sim
+        self._interval = Interval.poisson(
+            sim, rng, config.connections_per_second, self._spawn, "flashcrowd"
+        )
+        sim.schedule(config.start_s, self._interval.start, "flashcrowd.start")
+        sim.schedule(
+            config.start_s + config.duration_s, self._interval.stop, "flashcrowd.end"
+        )
+
+    def _spawn(self) -> None:
+        stack = self.stacks[self._next_stack]
+        self._next_stack = (self._next_stack + 1) % len(self.stacks)
+        self.connections_started += 1
+
+        completed = False
+
+        def on_established(conn: Connection) -> None:
+            conn.on_data = on_data
+            conn.send(b"F" * self.config.request_bytes)
+
+        def on_data(conn: Connection, data: bytes) -> None:
+            nonlocal completed
+            if data and not completed:
+                completed = True
+                self.connections_completed += 1
+                conn.close()
+
+        def on_failed(conn: Connection, reason: str) -> None:
+            self.connections_failed += 1
+
+        stack.connect(
+            self.config.server_ip,
+            self.config.server_port,
+            on_established=on_established,
+            on_failed=on_failed,
+        )

@@ -1,0 +1,76 @@
+"""The victim-side application: a minimal request/response web server.
+
+Accepts connections on a listening socket with a finite backlog (the
+resource under attack), serves a fixed-size response after a small
+service delay, and closes on client FIN.  Its counters are the ground
+truth for experiment E4's benign-service degradation measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tcp.socket import Connection
+from repro.tcp.stack import TcpStack
+
+
+@dataclass
+class WebServerStats:
+    """Service-side counters."""
+
+    accepted: int = 0
+    requests_served: int = 0
+    bytes_served: int = 0
+    backlog_drops_at_start: int = 0
+
+
+class WebServer:
+    """Request/response server bound to one port."""
+
+    def __init__(
+        self,
+        stack: TcpStack,
+        port: int = 80,
+        backlog: int | None = None,
+        response_bytes: int = 2000,
+        service_time_s: float = 0.002,
+    ) -> None:
+        self.stack = stack
+        self.port = port
+        self.response_bytes = response_bytes
+        self.service_time_s = service_time_s
+        self.stats = WebServerStats()
+        self.socket = stack.listen(port, backlog=backlog, on_accept=self._on_accept)
+
+    @property
+    def ip(self) -> str:
+        """The server's address (the victim IP in attack scenarios)."""
+        return self.stack.host.ip
+
+    @property
+    def backlog_drops(self) -> int:
+        """SYNs dropped because the backlog was full."""
+        return self.socket.backlog_drops
+
+    @property
+    def half_open(self) -> int:
+        """Current embryonic connections (flood pressure gauge)."""
+        return self.socket.half_open_count
+
+    def _on_accept(self, conn: Connection) -> None:
+        self.stats.accepted += 1
+        conn.on_data = self._on_data
+
+    def _on_data(self, conn: Connection, data: bytes) -> None:
+        if not data:
+            conn.close()  # client EOF
+            return
+        response = b"X" * self.response_bytes
+
+        def serve() -> None:
+            if conn.state.open:
+                conn.send(response)
+                self.stats.requests_served += 1
+                self.stats.bytes_served += len(response)
+
+        self.stack.sim.schedule(self.service_time_s, serve, "webserver.serve")

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "dumbbell" in out
+        assert "spi" in out
+        assert "ewma" in out
+        assert "e1" in out
+
+
+class TestRun:
+    def test_json_output_shape(self, capsys):
+        code = main(["run", "--duration", "12", "--rate", "300", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["defense"] == "spi"
+        assert payload["detections"] == 1
+        assert payload["time_to_mitigation_s"] is not None
+
+    def test_table_output(self, capsys):
+        assert main(["run", "--duration", "10", "--topology", "single"]) == 0
+        out = capsys.readouterr().out
+        assert "time_to_alert_s" in out
+        assert "inspected_fraction" in out
+
+    def test_no_attack(self, capsys):
+        assert main(["run", "--duration", "8", "--no-attack", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["detections"] == 0
+
+    def test_defense_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--defense", "hope"])
+
+    def test_syn_cookies_flag(self, capsys):
+        code = main([
+            "run", "--duration", "12", "--defense", "none", "--syn-cookies",
+            "--rate", "300", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["success_after_attack"] > 0.9
+
+
+class TestExperiment:
+    def test_quick_experiment_prints_table(self, capsys):
+        assert main(["experiment", "e3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E3" in out
+        assert "always-on" in out
+
+    def test_markdown_output(self, capsys):
+        assert main(["experiment", "e3", "--quick", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("|") > 10
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "e99"])

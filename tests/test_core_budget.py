@@ -1,0 +1,94 @@
+"""Tests for the inspection budget, including a property-based state walk."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.budget import BudgetConfig, InspectionBudget
+
+
+class TestBudget:
+    def test_grants_up_to_concurrency(self):
+        budget = InspectionBudget(BudgetConfig(max_concurrent=2, max_queue=2))
+        assert budget.request("v1") == "granted"
+        assert budget.request("v2") == "granted"
+        assert budget.request("v3") == "queued"
+        assert budget.request("v4") == "queued"
+        assert budget.request("v5") == "rejected"
+
+    def test_duplicate_requests_flagged(self):
+        budget = InspectionBudget(BudgetConfig(max_concurrent=1, max_queue=2))
+        budget.request("v1")
+        assert budget.request("v1") == "duplicate"
+        budget.request("v2")  # queued
+        assert budget.request("v2") == "duplicate"
+
+    def test_release_promotes_queued(self):
+        budget = InspectionBudget(BudgetConfig(max_concurrent=1, max_queue=2))
+        budget.request("v1")
+        budget.request("v2")
+        follower = budget.release("v1")
+        assert follower == "v2"
+        assert "v2" in budget.active
+
+    def test_release_with_empty_queue(self):
+        budget = InspectionBudget()
+        budget.request("v1")
+        assert budget.release("v1") is None
+        assert budget.active == frozenset()
+
+    def test_fifo_queue_order(self):
+        budget = InspectionBudget(BudgetConfig(max_concurrent=1, max_queue=3))
+        budget.request("v1")
+        for v in ("v2", "v3", "v4"):
+            budget.request(v)
+        assert budget.release("v1") == "v2"
+        assert budget.release("v2") == "v3"
+        assert budget.release("v3") == "v4"
+
+    def test_cancel_removes_from_queue(self):
+        budget = InspectionBudget(BudgetConfig(max_concurrent=1, max_queue=2))
+        budget.request("v1")
+        budget.request("v2")
+        budget.cancel("v2")
+        assert budget.release("v1") is None
+
+    def test_cancel_unknown_is_noop(self):
+        InspectionBudget().cancel("ghost")
+
+    def test_counters(self):
+        budget = InspectionBudget(BudgetConfig(max_concurrent=1, max_queue=1))
+        budget.request("a")
+        budget.request("b")
+        budget.request("c")
+        assert budget.granted == 1 and budget.queued == 1 and budget.rejected == 1
+        budget.release("a")
+        assert budget.granted == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BudgetConfig(max_concurrent=0)
+        with pytest.raises(ValueError):
+            BudgetConfig(max_queue=-1)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["req", "rel"]), st.sampled_from("abcdef")),
+            max_size=60,
+        )
+    )
+    def test_invariants_under_random_walk(self, operations):
+        """Active never exceeds the cap; queue never exceeds its bound."""
+        config = BudgetConfig(max_concurrent=2, max_queue=3)
+        budget = InspectionBudget(config)
+        for op, victim in operations:
+            if op == "req":
+                budget.request(victim)
+            else:
+                budget.release(victim)
+            assert len(budget.active) <= config.max_concurrent
+            assert budget.queue_depth <= config.max_queue
+            # A victim is never simultaneously active and queued.
+            assert not (set(budget.active) & set(budget._queue))

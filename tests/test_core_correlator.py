@@ -1,0 +1,146 @@
+"""Tests for the correlator verification state machine in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SpiConfig
+from repro.core.correlator import CaseState, Correlator
+from repro.core.signatures import SynFloodSignatureConfig, Verdict
+from repro.inspection.dpi import DpiEngine
+from repro.monitor.alerts import Alert
+from repro.monitor.detectors import Detection
+from repro.net.headers import TCP_ACK, TCP_SYN, TcpHeader
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+VICTIM = "10.0.0.1"
+
+
+def make_alert(time=0.0):
+    from tests.test_monitor_detectors import window
+
+    return Alert(
+        monitor="m", time=time, detection=Detection("static", 100, 50, 2),
+        features=window(), victim_ip=VICTIM,
+    )
+
+
+@pytest.fixture
+def rig(sim):
+    host = Host(sim, "dpi", "192.0.2.1", "00:0d:0d:0d:0d:01")
+    dpi = DpiEngine(host)
+    tracer = Tracer(lambda: sim.now)
+    verdicts = []
+    config = SpiConfig(
+        verification_window_s=1.0,
+        max_window_extensions=2,
+        signature=SynFloodSignatureConfig(min_syn_observations=5),
+    )
+    correlator = Correlator(
+        sim, dpi, config, tracer, on_verdict=lambda case, report: verdicts.append((case, report))
+    )
+    return sim, dpi, correlator, verdicts
+
+
+def feed_flood(dpi, count=30, start_port=1000):
+    for i in range(count):
+        packet = Packet.tcp_packet(
+            "00:00:00:00:00:01", "00:00:00:00:00:02",
+            f"198.18.0.{i % 200 + 1}", VICTIM,
+            TcpHeader(start_port + i, 80, flags=TCP_SYN),
+        )
+        dpi.host.on_packet(packet, dpi.host.port)
+
+
+def feed_benign(dpi, count=30):
+    for i in range(count):
+        for flags in (TCP_SYN, TCP_ACK):
+            packet = Packet.tcp_packet(
+                "00:00:00:00:00:01", "00:00:00:00:00:02",
+                f"10.0.0.{i % 20 + 2}", VICTIM,
+                TcpHeader(2000 + i, 80, flags=flags),
+            )
+            dpi.host.on_packet(packet, dpi.host.port)
+
+
+class TestCaseLifecycle:
+    def test_flood_evidence_confirms(self, rig):
+        sim, dpi, correlator, verdicts = rig
+        case = correlator.open_case(make_alert(), VICTIM)
+        correlator.begin_inspection(case)
+        sim.schedule(0.5, lambda: feed_flood(dpi))
+        sim.run(until=2.0)
+        assert case.state is CaseState.CONFIRMED
+        assert len(verdicts) == 1
+        assert verdicts[0][1].verdict is Verdict.CONFIRMED
+        assert case.alert_to_verdict == pytest.approx(1.0)
+
+    def test_benign_evidence_refutes(self, rig):
+        sim, dpi, correlator, verdicts = rig
+        case = correlator.open_case(make_alert(), VICTIM)
+        correlator.begin_inspection(case)
+        sim.schedule(0.5, lambda: feed_benign(dpi))
+        sim.run(until=2.0)
+        assert case.state is CaseState.REFUTED
+        assert verdicts[0][1].verdict is Verdict.REFUTED
+
+    def test_no_evidence_extends_then_gives_up(self, rig):
+        sim, dpi, correlator, verdicts = rig
+        case = correlator.open_case(make_alert(), VICTIM)
+        correlator.begin_inspection(case)
+        sim.run(until=10.0)
+        # 1 window + 2 extensions = verdict at ~3s, refuted (no evidence).
+        assert case.extensions_used == 2
+        assert case.state is CaseState.REFUTED
+        assert case.verdict_at == pytest.approx(3.0)
+
+    def test_evidence_arriving_during_extension_confirms(self, rig):
+        sim, dpi, correlator, verdicts = rig
+        case = correlator.open_case(make_alert(), VICTIM)
+        correlator.begin_inspection(case)
+        # After the first (empty) window; 80 SYNs over the ~2s total
+        # inspection keeps the observed SYN rate above the volume floor.
+        sim.schedule(1.5, lambda: feed_flood(dpi, count=80))
+        sim.run(until=5.0)
+        assert case.state is CaseState.CONFIRMED
+        assert case.extensions_used >= 1
+
+    def test_abandon_cancels_case(self, rig):
+        sim, dpi, correlator, verdicts = rig
+        case = correlator.open_case(make_alert(), VICTIM)
+        correlator.begin_inspection(case)
+        correlator.abandon(VICTIM)
+        sim.run(until=5.0)
+        assert case.state is CaseState.ABANDONED
+        assert verdicts == []
+        assert not correlator.has_case(VICTIM)
+
+    def test_has_case_tracks_active(self, rig):
+        sim, dpi, correlator, _ = rig
+        assert not correlator.has_case(VICTIM)
+        case = correlator.open_case(make_alert(), VICTIM)
+        assert correlator.has_case(VICTIM)
+        correlator.begin_inspection(case)
+        feed_flood(dpi)
+        sim.run(until=2.0)
+        assert not correlator.has_case(VICTIM)
+
+    def test_inspection_duration_recorded(self, rig):
+        sim, dpi, correlator, _ = rig
+        case = correlator.open_case(make_alert(), VICTIM)
+        correlator.begin_inspection(case)
+        feed_flood(dpi)
+        sim.run(until=2.0)
+        assert case.inspection_duration == pytest.approx(1.0)
+
+    def test_trace_entries_emitted(self, rig):
+        sim, dpi, correlator, _ = rig
+        case = correlator.open_case(make_alert(), VICTIM)
+        correlator.begin_inspection(case)
+        feed_flood(dpi)
+        sim.run(until=2.0)
+        assert correlator.tracer.count("correlator.case_opened") == 1
+        assert correlator.tracer.count("correlator.verdict") == 1

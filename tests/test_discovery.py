@@ -1,0 +1,148 @@
+"""Tests for LLDP-style topology discovery and scoped mitigation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.discovery import TopologyDiscovery
+from repro.topology import dumbbell, linear, star, tree
+from repro.topology.builder import Network
+
+
+class TestDiscovery:
+    def test_linear_chain_discovered_exactly(self):
+        net, _ = linear(n_switches=5)
+        discovery = net.enable_discovery(period_s=1.0)
+        net.run(until=4.0)
+        g = discovery.graph()
+        assert sorted(g.nodes) == [1, 2, 3, 4, 5]
+        assert sorted(tuple(sorted(e)) for e in g.edges) == [
+            (1, 2), (2, 3), (3, 4), (4, 5)
+        ]
+
+    def test_star_hub_and_spokes(self):
+        net, _ = star(n_arms=4, clients_per_arm=1)
+        discovery = net.enable_discovery(period_s=1.0)
+        net.run(until=4.0)
+        g = discovery.graph()
+        assert g.degree[1] == 4  # core connects to every arm
+        for dpid in (2, 3, 4, 5):
+            assert g.degree[dpid] == 1
+
+    def test_no_false_adjacencies_across_hops(self):
+        """Probes are never forwarded, so only true neighbours appear."""
+        net, _ = linear(n_switches=4)
+        discovery = net.enable_discovery(period_s=1.0)
+        net.run(until=4.0)
+        g = discovery.graph()
+        assert not g.has_edge(1, 3)
+        assert not g.has_edge(1, 4)
+        assert not g.has_edge(2, 4)
+
+    def test_edge_ports_are_host_facing(self):
+        net, roles = dumbbell(n_clients=2, n_attackers=1)
+        discovery = net.enable_discovery(period_s=1.0)
+        net.run(until=4.0)
+        s2 = net.switches["s2"]
+        edge_ports = discovery.edge_ports(s2.datapath_id)
+        # s2 has the core link (port 1) and the server (port 2).
+        server_port = net.hosts["srv1"].port.peer().port_no
+        assert edge_ports == [server_port]
+
+    def test_edge_datapaths(self):
+        net, _ = tree(depth=2, fanout=2, clients_per_leaf=1)
+        discovery = net.enable_discovery(period_s=1.0)
+        net.run(until=4.0)
+        edges = set(discovery.edge_datapaths())
+        # Root hosts the server and every leaf hosts clients; the middle
+        # tier has no hosts at all.
+        root = net.switches["t0"].datapath_id
+        middles = {net.switches[f"t{i}"].datapath_id for i in (1, 2)}
+        assert root in edges
+        assert not (middles & edges)
+
+    def test_path_queries(self):
+        net, _ = linear(n_switches=4)
+        discovery = net.enable_discovery(period_s=1.0)
+        net.run(until=4.0)
+        assert discovery.path(1, 4) == [1, 2, 3, 4]
+        assert discovery.path(1, 99) == []
+
+    def test_probes_do_not_pollute_l2_tables(self):
+        from repro.controller.discovery import PROBE_SRC_MAC
+
+        net, _ = linear(n_switches=3)
+        net.enable_discovery(period_s=1.0)
+        net.run(until=4.0)
+        for table in net.l2.mac_tables.values():
+            assert PROBE_SRC_MAC not in table
+
+    def test_probes_do_not_reach_hosts_stacks(self):
+        net, roles = dumbbell(n_clients=1, n_attackers=0)
+        net.enable_discovery(period_s=1.0)
+        counts_before = net.stack("cli1").counters.segments_received
+        net.run(until=4.0)
+        assert net.stack("cli1").counters.segments_received == counts_before
+
+    def test_enable_discovery_idempotent(self):
+        net, _ = linear(n_switches=2)
+        first = net.enable_discovery()
+        second = net.enable_discovery()
+        assert first is second
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            TopologyDiscovery(period_s=0)
+
+
+class TestScopedMitigation:
+    def test_scope_limits_rule_placement(self):
+        from repro.mitigation.manager import (
+            MITIGATION_COOKIE,
+            MitigationConfig,
+            MitigationManager,
+            MitigationMode,
+        )
+
+        net, roles = tree(depth=2, fanout=2, clients_per_leaf=1, n_attackers=1)
+        discovery = net.enable_discovery(period_s=1.0)
+        net.run(until=4.0)
+        manager = MitigationManager(
+            net.controller, MitigationConfig(mode=MitigationMode.BLOCK_SOURCES)
+        )
+        manager.scope_datapaths = set(discovery.edge_datapaths())
+        manager.mitigate(net.hosts["srv1"].ip, ["203.0.113.1"])
+        net.run(until=5.0)
+        with_rules = [
+            name for name, sw in net.switches.items()
+            if sw.table.entries_with_cookie(MITIGATION_COOKIE)
+        ]
+        # The host-free middle tier gets no rules.
+        assert "t1" not in with_rules and "t2" not in with_rules
+        assert "t0" in with_rules
+        # But blocking still works end to end: an edge switch guards
+        # every ingress path.
+        assert len(with_rules) == len(discovery.edge_datapaths())
+
+    def test_scoped_rules_still_block_flood(self):
+        from repro.mitigation.manager import MitigationConfig, MitigationManager
+        from repro.workload.profiles import StandardWorkload, WorkloadConfig
+
+        net, roles = tree(depth=2, fanout=2, clients_per_leaf=1, n_attackers=1)
+        discovery = net.enable_discovery(period_s=1.0)
+        wl = StandardWorkload(
+            net, roles,
+            WorkloadConfig(attack_rate_pps=300, attack_start_s=5.0, spoof=False),
+        )
+        manager = MitigationManager(net.controller, MitigationConfig())
+        wl.start()
+        net.run(until=6.0)
+        manager.scope_datapaths = set(discovery.edge_datapaths())
+        attacker_ip = net.hosts[roles.attackers[0]].ip
+        manager.mitigate(wl.victim_ip, [attacker_ip])
+        victim_rx_before = net.hosts["srv1"].rx_count
+        net.run(until=8.0)
+        baseline = net.hosts["srv1"].rx_count - victim_rx_before
+        # Flood blocked at its entry edge: the victim sees only benign
+        # traffic now (no hundreds of SYNs per second).
+        assert baseline < 200

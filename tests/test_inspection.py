@@ -1,0 +1,151 @@
+"""Tests for the DPI engine and handshake tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.inspection.dpi import DpiEngine
+from repro.inspection.tracker import HandshakeTracker
+from repro.net.headers import TCP_ACK, TCP_RST, TCP_SYN, TcpHeader
+from repro.net.host import Host
+from repro.net.packet import Packet
+
+MAC = "00:00:00:00:00:01"
+VICTIM = "10.0.0.1"
+
+
+def seg(src_ip, sport, flags, dst_ip=VICTIM, dport=80):
+    return Packet.tcp_packet(
+        MAC, MAC, src_ip, dst_ip, TcpHeader(sport, dport, flags=flags)
+    )
+
+
+class TestHandshakeTracker:
+    def test_syn_then_ack_counts_completion(self):
+        tracker = HandshakeTracker(VICTIM, started_at=0.0)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_SYN), 0.1)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_ACK), 0.2)
+        evidence = tracker.snapshot(0.3)
+        assert evidence.syn_total == 1
+        assert evidence.completion_total == 1
+        assert evidence.completion_ratio == 1.0
+        source = evidence.sources["10.0.0.5"]
+        assert source.syns == 1 and source.completions == 1
+
+    def test_syn_without_ack_is_abandoned(self):
+        tracker = HandshakeTracker(VICTIM, 0.0)
+        tracker.observe(seg("198.18.0.1", 2000, TCP_SYN), 0.1)
+        evidence = tracker.snapshot(1.0)
+        assert evidence.completion_ratio == 0.0
+        assert evidence.sources["198.18.0.1"].abandoned == 1
+
+    def test_syn_retransmission_not_double_counted(self):
+        tracker = HandshakeTracker(VICTIM, 0.0)
+        for t in (0.1, 0.2, 0.3):
+            tracker.observe(seg("10.0.0.5", 1000, TCP_SYN), t)
+        assert tracker.snapshot(1.0).syn_total == 1
+
+    def test_distinct_tuples_are_distinct_handshakes(self):
+        tracker = HandshakeTracker(VICTIM, 0.0)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_SYN), 0.1)
+        tracker.observe(seg("10.0.0.5", 1001, TCP_SYN), 0.1)
+        evidence = tracker.snapshot(1.0)
+        assert evidence.syn_total == 2
+        assert evidence.sources["10.0.0.5"].syns == 2
+
+    def test_rst_clears_pending_without_completion(self):
+        tracker = HandshakeTracker(VICTIM, 0.0)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_SYN), 0.1)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_RST), 0.2)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_ACK), 0.3)  # stale, ignored
+        evidence = tracker.snapshot(1.0)
+        assert evidence.completion_total == 0
+        assert evidence.sources["10.0.0.5"].resets == 1
+
+    def test_ack_without_syn_ignored(self):
+        tracker = HandshakeTracker(VICTIM, 0.0)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_ACK), 0.1)
+        assert tracker.snapshot(1.0).completion_total == 0
+
+    def test_traffic_to_other_destination_ignored(self):
+        tracker = HandshakeTracker(VICTIM, 0.0)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_SYN, dst_ip="10.0.0.99"), 0.1)
+        assert tracker.snapshot(1.0).syn_total == 0
+
+    def test_attacker_and_suspect_classification(self):
+        tracker = HandshakeTracker(VICTIM, 0.0)
+        # Heavy hitter: 10 SYNs from distinct ports, no completion.
+        for port in range(10):
+            tracker.observe(seg("203.0.113.1", 5000 + port, TCP_SYN), 0.1)
+        # Spoofed drizzle: 1 SYN each.
+        for i in range(5):
+            tracker.observe(seg(f"198.18.0.{i + 1}", 1000, TCP_SYN), 0.1)
+        # Benign completer.
+        tracker.observe(seg("10.0.0.5", 1000, TCP_SYN), 0.1)
+        tracker.observe(seg("10.0.0.5", 1000, TCP_ACK), 0.2)
+        evidence = tracker.snapshot(1.0)
+        assert evidence.attacker_sources(min_syns=5) == ["203.0.113.1"]
+        suspects = evidence.suspect_sources(below_syns=5)
+        assert len(suspects) == 5 and all(s.startswith("198.18.") for s in suspects)
+        assert evidence.completed_sources() == ["10.0.0.5"]
+
+    def test_window_duration(self):
+        tracker = HandshakeTracker(VICTIM, 2.0)
+        evidence = tracker.snapshot(5.0)
+        assert evidence.duration == pytest.approx(3.0)
+
+
+class TestDpiEngine:
+    @pytest.fixture
+    def engine(self, sim):
+        host = Host(sim, "dpi", "192.0.2.1", "00:0d:0d:0d:0d:01")
+        return DpiEngine(host)
+
+    def _deliver(self, engine, packet):
+        """Short-circuit the link: frames arrive at the sniffer directly."""
+        engine.host.on_packet(packet, engine.host.port)
+
+    def test_frames_parsed_from_bytes(self, engine):
+        self._deliver(engine, seg("10.0.0.5", 1000, TCP_SYN))
+        assert engine.stats.frames_received == 1
+        assert engine.stats.frames_parsed == 1
+        assert engine.stats.parse_errors == 0
+
+    def test_tracked_only_for_active_victims(self, engine):
+        engine.start_inspection(VICTIM)
+        self._deliver(engine, seg("10.0.0.5", 1000, TCP_SYN))
+        self._deliver(engine, seg("10.0.0.5", 1000, TCP_SYN, dst_ip="10.0.0.99"))
+        assert engine.stats.frames_tracked == 1
+        evidence = engine.evidence(VICTIM)
+        assert evidence is not None and evidence.syn_total == 1
+
+    def test_stop_inspection_returns_final_evidence(self, engine):
+        engine.start_inspection(VICTIM)
+        self._deliver(engine, seg("10.0.0.5", 1000, TCP_SYN))
+        evidence = engine.stop_inspection(VICTIM)
+        assert evidence is not None and evidence.syn_total == 1
+        assert engine.evidence(VICTIM) is None
+        assert VICTIM not in engine.active_victims
+
+    def test_stop_unknown_victim_returns_none(self, engine):
+        assert engine.stop_inspection("10.9.9.9") is None
+
+    def test_start_is_idempotent(self, engine):
+        first = engine.start_inspection(VICTIM)
+        second = engine.start_inspection(VICTIM)
+        assert first is second
+
+    def test_observers_see_parsed_packets(self, engine):
+        seen = []
+        engine.add_observer(seen.append)
+        self._deliver(engine, seg("10.0.0.5", 1000, TCP_SYN))
+        assert len(seen) == 1
+        assert seen[0].tcp is not None
+
+    def test_multiple_victims_tracked_independently(self, engine):
+        engine.start_inspection(VICTIM)
+        engine.start_inspection("10.0.0.2")
+        self._deliver(engine, seg("198.18.0.1", 1, TCP_SYN, dst_ip=VICTIM))
+        self._deliver(engine, seg("198.18.0.2", 2, TCP_SYN, dst_ip="10.0.0.2"))
+        assert engine.evidence(VICTIM).syn_total == 1
+        assert engine.evidence("10.0.0.2").syn_total == 1

@@ -1,0 +1,183 @@
+"""Tests for time series, detection metrics and tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.detection import ConfusionCounts, classify_detections
+from repro.metrics.recorder import TimeSeries, percentile, summarize
+from repro.metrics.report import Table
+
+
+class TestTimeSeries:
+    def test_append_and_query(self):
+        ts = TimeSeries("x")
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert ts.values() == [10.0, 20.0]
+        assert ts.values(1.5, 3.0) == [20.0]
+        assert ts.last() == 20.0
+        assert len(ts) == 2
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(1.0, 1.0)
+
+    def test_mean_and_max_over_phase(self):
+        ts = TimeSeries()
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]:
+            ts.append(t, v)
+        assert ts.mean(0.5, 2.5) == pytest.approx(4.0)
+        assert ts.maximum() == 5.0
+        assert ts.mean(10, 20) == 0.0
+
+    def test_samples(self):
+        ts = TimeSeries()
+        ts.append(1.0, 2.0)
+        assert ts.samples() == [(1.0, 2.0)]
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+
+    def test_summarize_empty(self):
+        assert summarize([]).count == 0
+
+
+class TestConfusion:
+    def test_precision_recall_f1(self):
+        counts = ConfusionCounts(tp=8, fp=2, fn=2, tn=88)
+        assert counts.precision == pytest.approx(0.8)
+        assert counts.recall == pytest.approx(0.8)
+        assert counts.f1 == pytest.approx(0.8)
+        assert counts.false_positive_rate == pytest.approx(2 / 90)
+
+    def test_degenerate_cases(self):
+        empty = ConfusionCounts()
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0
+        assert empty.false_positive_rate == 0.0
+        assert ConfusionCounts(tp=0, fp=0, fn=5).recall == 0.0
+
+
+class TestClassifyDetections:
+    def test_detection_in_window_is_tp(self):
+        counts, latencies = classify_detections([12.0], [(10.0, 20.0)])
+        assert counts.tp == 1 and counts.fp == 0 and counts.fn == 0
+        assert latencies == [2.0]
+
+    def test_detection_outside_window_is_fp(self):
+        counts, _ = classify_detections([5.0], [(10.0, 20.0)])
+        assert counts.fp == 1 and counts.fn == 1
+
+    def test_missed_window_is_fn(self):
+        counts, _ = classify_detections([], [(10.0, 20.0)])
+        assert counts.fn == 1
+
+    def test_duplicates_in_same_window_credited_once(self):
+        counts, latencies = classify_detections([11.0, 12.0, 13.0], [(10.0, 20.0)])
+        assert counts.tp == 1 and counts.fp == 0
+        assert latencies == [1.0]
+
+    def test_grace_period_extends_window(self):
+        counts, _ = classify_detections([21.0], [(10.0, 20.0)], grace_s=2.0)
+        assert counts.tp == 1
+
+    def test_multiple_windows(self):
+        counts, latencies = classify_detections(
+            [11.0, 35.0], [(10.0, 20.0), (30.0, 40.0)]
+        )
+        assert counts.tp == 2 and counts.fn == 0
+        assert latencies == [1.0, 5.0]
+
+    def test_quiet_windows_become_tn(self):
+        counts, _ = classify_detections([], [], quiet_windows=10)
+        assert counts.tn == 10
+        assert counts.false_positive_rate == 0.0
+
+
+class TestTable:
+    def _table(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("beta", None)
+        return table
+
+    def test_row_arity_enforced(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+
+    def test_column_access(self):
+        assert self._table().column("name") == ["alpha", "beta"]
+        with pytest.raises(ValueError):
+            self._table().column("ghost")
+
+    def test_text_render(self):
+        text = self._table().to_text()
+        assert "demo" in text and "alpha" in text and "-" in text
+
+    def test_markdown_render(self):
+        md = self._table().to_markdown()
+        assert md.count("|") >= 8
+        assert "**demo**" in md
+
+    def test_csv_render(self):
+        csv = self._table().to_csv()
+        lines = csv.strip().split("\n")
+        assert lines[0] == "name,value"
+        assert lines[1] == "alpha,1.5"
+        assert lines[2] == "beta,"
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"], precision=3)
+        table.add_row(3.14159)
+        table.add_row(12345.0)
+        table.add_row(0.0)
+        text = table.to_text()
+        assert "3.14" in text
+        assert "12,345" in text
+
+    def test_bool_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row(True)
+        assert "yes" in table.to_text()
+
+    def test_len(self):
+        assert len(self._table()) == 2

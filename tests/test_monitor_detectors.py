@@ -1,0 +1,196 @@
+"""Tests for the anomaly detector families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.detectors import (
+    AdaptiveThresholdDetector,
+    CompositeDetector,
+    CusumDetector,
+    EntropyDetector,
+    EwmaDetector,
+    StaticThresholdDetector,
+    make_detector,
+)
+from repro.monitor.features import WindowFeatures
+
+
+def window(syn_rate=10.0, entropy=0.0, sources=1, duration=1.0, start=0.0):
+    """Fabricate a feature window with the interesting knobs exposed."""
+    return WindowFeatures(
+        window_start=start,
+        window_end=start + duration,
+        total_packets=syn_rate * duration * 2,
+        tcp_packets=syn_rate * duration * 2,
+        syn_count=syn_rate * duration,
+        synack_count=0,
+        ack_count=syn_rate * duration / 2,
+        rst_count=0,
+        fin_count=0,
+        udp_packets=0,
+        distinct_sources=sources,
+        source_entropy=entropy,
+        top_destination="10.0.0.1",
+        top_destination_syns=syn_rate * duration,
+    )
+
+
+def feed(detector, rates):
+    """Run a rate sequence through a detector; returns detection indexes."""
+    fired = []
+    for i, rate in enumerate(rates):
+        if detector.update(window(syn_rate=rate, start=float(i))) is not None:
+            fired.append(i)
+    return fired
+
+
+class TestStatic:
+    def test_fires_above_threshold_only(self):
+        detector = StaticThresholdDetector(syn_rate_threshold=100)
+        assert feed(detector, [50, 99, 100, 101, 500]) == [3, 4]
+
+    def test_detection_fields(self):
+        detector = StaticThresholdDetector(syn_rate_threshold=100)
+        detection = detector.update(window(syn_rate=250))
+        assert detection.value == 250
+        assert detection.threshold == 100
+        assert detection.severity == pytest.approx(2.5)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            StaticThresholdDetector(syn_rate_threshold=0)
+
+
+class TestAdaptive:
+    def test_learns_baseline_then_detects_spike(self):
+        detector = AdaptiveThresholdDetector(k=3.0, min_windows=5, floor=20.0)
+        fired = feed(detector, [10, 11, 9, 10, 12, 10, 11, 300])
+        assert fired == [7]
+
+    def test_quiet_traffic_never_fires(self):
+        detector = AdaptiveThresholdDetector(min_windows=3)
+        assert feed(detector, [10] * 20) == []
+
+    def test_floor_suppresses_tiny_variance_false_alarms(self):
+        detector = AdaptiveThresholdDetector(k=3.0, min_windows=3, floor=50.0)
+        # Baseline ~0, then 30: above mean+3sigma but under the floor.
+        assert feed(detector, [0, 0, 0, 0, 30]) == []
+
+    def test_reset_clears_baseline(self):
+        detector = AdaptiveThresholdDetector(min_windows=2)
+        feed(detector, [10, 10, 10])
+        detector.reset()
+        assert detector._values == []
+
+
+class TestEwma:
+    def test_detects_step_change(self):
+        detector = EwmaDetector(alpha=0.3, k=3.0, floor=20.0)
+        fired = feed(detector, [10, 10, 10, 10, 10, 400])
+        assert fired == [5]
+
+    def test_baseline_frozen_while_alerting(self):
+        detector = EwmaDetector(alpha=0.5, k=3.0, floor=20.0)
+        feed(detector, [10, 10, 10, 10])
+        before = detector._mean
+        detector.update(window(syn_rate=500))  # fires; must not learn 500
+        assert detector._mean == before
+
+    def test_tracks_slow_legitimate_growth(self):
+        detector = EwmaDetector(alpha=0.3, k=3.0, floor=30.0)
+        rates = [10 + i for i in range(40)]  # +1/s drift stays under floor
+        assert feed(detector, rates) == []
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=0.0)
+
+
+class TestCusum:
+    def test_accumulates_small_drift(self):
+        detector = CusumDetector(drift=10.0, h=50.0)
+        # Each 40-rate window contributes (40 - 10 - 10) = 20 to the sum,
+        # so the third such window crosses h=50.
+        fired = feed(detector, [10, 10, 10, 40, 40, 40, 40])
+        assert fired == [5]
+
+    def test_static_misses_what_cusum_catches(self):
+        static = StaticThresholdDetector(syn_rate_threshold=100)
+        cusum = CusumDetector(drift=10.0, h=50.0)
+        rates = [10, 10, 10] + [60] * 10
+        assert feed(static, rates) == []
+        assert feed(cusum, rates) != []
+
+    def test_sum_resets_after_detection(self):
+        detector = CusumDetector(drift=5.0, h=20.0)
+        fired = feed(detector, [10, 10, 10, 100])
+        assert fired == [3]
+        assert detector._sum == 0.0
+
+    def test_negative_excess_decays_sum(self):
+        detector = CusumDetector(drift=10.0, h=1000.0)
+        feed(detector, [10, 10, 50, 10, 10])
+        assert detector._sum < 30.0
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            CusumDetector(h=0)
+
+
+class TestEntropy:
+    def test_fires_on_spoofed_profile(self):
+        detector = EntropyDetector(entropy_threshold=0.9, min_syn_rate=20, min_sources=8)
+        detection = detector.update(window(syn_rate=100, entropy=0.99, sources=64))
+        assert detection is not None
+
+    def test_needs_all_three_conditions(self):
+        detector = EntropyDetector(entropy_threshold=0.9, min_syn_rate=20, min_sources=8)
+        assert detector.update(window(syn_rate=100, entropy=0.5, sources=64)) is None
+        assert detector.update(window(syn_rate=5, entropy=0.99, sources=64)) is None
+        assert detector.update(window(syn_rate=100, entropy=0.99, sources=3)) is None
+
+    def test_flash_crowd_few_sources_not_flagged(self):
+        """High rate from a handful of real clients: entropy stays quiet."""
+        detector = EntropyDetector()
+        assert detector.update(window(syn_rate=300, entropy=0.6, sources=5)) is None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            EntropyDetector(entropy_threshold=1.5)
+
+
+class TestComposite:
+    def test_first_firing_member_wins(self):
+        composite = CompositeDetector(
+            [StaticThresholdDetector(1000), EntropyDetector(min_sources=1, min_syn_rate=1)]
+        )
+        detection = composite.update(window(syn_rate=50, entropy=0.99, sources=10))
+        assert detection is not None and detection.detector == "entropy"
+
+    def test_none_when_no_member_fires(self):
+        composite = CompositeDetector([StaticThresholdDetector(1000)])
+        assert composite.update(window(syn_rate=10)) is None
+
+    def test_reset_propagates(self):
+        member = AdaptiveThresholdDetector(min_windows=1)
+        composite = CompositeDetector([member])
+        composite.update(window(syn_rate=10))
+        composite.reset()
+        assert member._values == []
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeDetector([])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["static", "adaptive", "ewma", "cusum", "entropy"])
+    def test_all_families_constructible(self, kind):
+        kwargs = {"syn_rate_threshold": 50.0} if kind == "static" else {}
+        detector = make_detector(kind, **kwargs)
+        assert detector.update(window(syn_rate=10)) is None or True
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            make_detector("quantum")

@@ -1,0 +1,168 @@
+"""Tests for feature extraction from sampled packets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.features import FeatureExtractor
+from repro.net.headers import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN, TcpHeader, UdpHeader
+from repro.net.packet import Packet
+
+MAC = "00:00:00:00:00:01"
+
+
+def tcp(flags, src_ip="10.0.0.1", dst_ip="10.0.0.2", sport=1000):
+    return Packet.tcp_packet(MAC, MAC, src_ip, dst_ip, TcpHeader(sport, 80, flags=flags))
+
+
+def udp(src_ip="10.0.0.1", dst_ip="10.0.0.2"):
+    return Packet.udp_packet(MAC, MAC, src_ip, dst_ip, UdpHeader(1, 2))
+
+
+class TestCounting:
+    def test_flag_classification(self):
+        fx = FeatureExtractor()
+        fx.observe(tcp(TCP_SYN))
+        fx.observe(tcp(TCP_SYN | TCP_ACK))
+        fx.observe(tcp(TCP_ACK))
+        fx.observe(tcp(TCP_RST | TCP_ACK))
+        fx.observe(tcp(TCP_FIN | TCP_ACK))
+        fx.observe(udp())
+        features = fx.close_window(1.0)
+        assert features.syn_count == 1
+        assert features.synack_count == 1
+        assert features.ack_count == 3  # ACK, RST|ACK, FIN|ACK all carry ACK
+        assert features.rst_count == 1
+        assert features.fin_count == 1
+        assert features.udp_packets == 1
+        assert features.total_packets == 6
+
+    def test_window_resets(self):
+        fx = FeatureExtractor()
+        fx.observe(tcp(TCP_SYN))
+        fx.close_window(1.0)
+        features = fx.close_window(2.0)
+        assert features.syn_count == 0
+        assert features.window_start == 1.0
+        assert features.window_end == 2.0
+
+    def test_syn_rate(self):
+        fx = FeatureExtractor()
+        for _ in range(10):
+            fx.observe(tcp(TCP_SYN))
+        features = fx.close_window(0.5)
+        assert features.syn_rate == pytest.approx(20.0)
+
+    def test_syn_ack_imbalance(self):
+        fx = FeatureExtractor()
+        for _ in range(30):
+            fx.observe(tcp(TCP_SYN))
+        fx.observe(tcp(TCP_ACK))
+        features = fx.close_window(1.0)
+        assert features.syn_ack_imbalance == pytest.approx(15.0)
+
+    def test_non_ip_packet_ignored_gracefully(self):
+        from repro.net.headers import EthernetHeader
+
+        fx = FeatureExtractor()
+        fx.observe(Packet(eth=EthernetHeader(MAC, MAC, 0x0806)))
+        features = fx.close_window(1.0)
+        assert features.total_packets == 1
+        assert features.tcp_packets == 0
+
+
+class TestSources:
+    def test_distinct_sources_and_entropy(self):
+        fx = FeatureExtractor()
+        for i in range(16):
+            fx.observe(tcp(TCP_SYN, src_ip=f"198.18.0.{i + 1}"))
+        features = fx.close_window(1.0)
+        assert features.distinct_sources == 16
+        assert features.source_entropy == pytest.approx(1.0)
+
+    def test_single_source_entropy_zero(self):
+        fx = FeatureExtractor()
+        for _ in range(16):
+            fx.observe(tcp(TCP_SYN))
+        features = fx.close_window(1.0)
+        assert features.source_entropy == 0.0
+
+    def test_top_destination(self):
+        fx = FeatureExtractor()
+        for _ in range(5):
+            fx.observe(tcp(TCP_SYN, dst_ip="10.0.0.9"))
+        fx.observe(tcp(TCP_SYN, dst_ip="10.0.0.8"))
+        features = fx.close_window(1.0)
+        assert features.top_destination == "10.0.0.9"
+        assert features.top_destination_syns == 5
+        assert features.per_destination_syns == {"10.0.0.9": 5, "10.0.0.8": 1}
+
+    def test_no_syns_no_top_destination(self):
+        fx = FeatureExtractor()
+        fx.observe(tcp(TCP_ACK))
+        features = fx.close_window(1.0)
+        assert features.top_destination is None
+        assert features.top_destination_syns == 0
+
+
+class TestSampling:
+    def test_counts_scaled_by_inverse_probability(self):
+        fx = FeatureExtractor(sampling_probability=0.1)
+        for _ in range(10):
+            fx.observe(tcp(TCP_SYN))
+        features = fx.close_window(1.0)
+        assert features.syn_count == pytest.approx(100.0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(sampling_probability=0.0)
+        with pytest.raises(ValueError):
+            FeatureExtractor(sampling_probability=1.5)
+
+    def test_duration_property(self):
+        fx = FeatureExtractor()
+        fx.close_window(1.0)
+        features = fx.close_window(3.5)
+        assert features.duration == pytest.approx(2.5)
+
+
+class TestUdpFeatures:
+    def test_udp_per_destination_counts(self):
+        fx = FeatureExtractor()
+        for _ in range(5):
+            fx.observe(udp(dst_ip="10.0.0.9"))
+        fx.observe(udp(dst_ip="10.0.0.8"))
+        features = fx.close_window(1.0)
+        assert features.top_udp_destination == "10.0.0.9"
+        assert features.top_udp_destination_packets == 5
+        assert features.per_destination_udp == {"10.0.0.9": 5, "10.0.0.8": 1}
+
+    def test_udp_rate(self):
+        fx = FeatureExtractor()
+        for _ in range(20):
+            fx.observe(udp())
+        features = fx.close_window(0.5)
+        assert features.udp_rate == pytest.approx(40.0)
+
+    def test_udp_sources_feed_entropy(self):
+        fx = FeatureExtractor()
+        for i in range(8):
+            fx.observe(udp(src_ip=f"198.18.0.{i + 1}"))
+        features = fx.close_window(1.0)
+        assert features.distinct_sources == 8
+        assert features.source_entropy == pytest.approx(1.0)
+
+    def test_no_udp_means_no_top_udp_destination(self):
+        fx = FeatureExtractor()
+        fx.observe(tcp(TCP_SYN))
+        features = fx.close_window(1.0)
+        assert features.top_udp_destination is None
+        assert features.per_destination_udp == {}
+
+    def test_udp_scaling_with_sampling(self):
+        fx = FeatureExtractor(sampling_probability=0.25)
+        for _ in range(10):
+            fx.observe(udp())
+        features = fx.close_window(1.0)
+        assert features.udp_packets == pytest.approx(40.0)
+        assert features.top_udp_destination_packets == pytest.approx(40.0)

@@ -1,0 +1,179 @@
+"""Tests for the TrafficMonitor node and the alert bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.alerts import Alert, AlertBus
+from repro.monitor.detectors import StaticThresholdDetector
+from repro.monitor.monitor import MonitorConfig, TrafficMonitor
+from repro.sim.rng import SeededRng
+from repro.topology.builder import Network
+from repro.workload.attacker import AttackSchedule, SynFloodAttacker, SynFloodConfig
+
+
+@pytest.fixture
+def rig():
+    """Single switch + victim + attacker host, monitor-ready."""
+    net = Network(seed=1)
+    net.add_switch("s1")
+    net.add_host("victim")
+    net.add_host("atk")
+    net.link("victim", "s1")
+    net.link("atk", "s1")
+    net.finalize()
+    bus = AlertBus(net.sim, latency_s=0.005)
+    alerts: list[Alert] = []
+    bus.subscribe(alerts.append)
+    return net, bus, alerts
+
+
+def flood(net, rate=400.0, start=1.0):
+    attacker = SynFloodAttacker(
+        net.hosts["atk"],
+        net.rng.child("flood"),
+        SynFloodConfig(
+            victim_ip=net.hosts["victim"].ip, rate_pps=rate,
+            schedule=AttackSchedule(start_s=start),
+        ),
+    )
+    attacker.start()
+    return attacker
+
+
+class TestMonitor:
+    def test_windows_close_on_schedule(self, rig):
+        net, bus, _ = rig
+        monitor = TrafficMonitor(
+            "m", net.switches["s1"], StaticThresholdDetector(100), bus,
+            net.rng.child("mon"), MonitorConfig(window_s=0.5),
+        )
+        net.run(until=2.1)
+        assert monitor.windows_closed == 4
+        monitor.stop()
+
+    def test_flood_raises_alert_with_victim(self, rig):
+        net, bus, alerts = rig
+        monitor = TrafficMonitor(
+            "m", net.switches["s1"], StaticThresholdDetector(100), bus,
+            net.rng.child("mon"), MonitorConfig(window_s=0.5),
+        )
+        flood(net, rate=400, start=1.0)
+        net.run(until=3.0)
+        assert len(alerts) >= 1
+        assert alerts[0].victim_ip == net.hosts["victim"].ip
+        assert alerts[0].time >= 1.5
+        assert alerts[0].monitor == "m"
+        monitor.stop()
+
+    def test_quiet_network_no_alerts(self, rig):
+        net, bus, alerts = rig
+        monitor = TrafficMonitor(
+            "m", net.switches["s1"], StaticThresholdDetector(100), bus,
+            net.rng.child("mon"), MonitorConfig(window_s=0.5),
+        )
+        net.run(until=5.0)
+        assert alerts == []
+        monitor.stop()
+
+    def test_holddown_limits_alert_storm(self, rig):
+        net, bus, alerts = rig
+        monitor = TrafficMonitor(
+            "m", net.switches["s1"], StaticThresholdDetector(100), bus,
+            net.rng.child("mon"), MonitorConfig(window_s=0.5, holddown_s=3.0),
+        )
+        flood(net, rate=400, start=0.5)
+        net.run(until=6.6)
+        # Without holddown there would be ~12 alerting windows; with a 3s
+        # holddown at most ~2-3 alerts fit in 6 seconds.
+        assert 1 <= len(alerts) <= 3
+        monitor.stop()
+
+    def test_sampling_reduces_observed_but_scales_estimates(self, rig):
+        net, bus, alerts = rig
+        monitor = TrafficMonitor(
+            "m", net.switches["s1"], StaticThresholdDetector(100), bus,
+            net.rng.child("mon"),
+            MonitorConfig(window_s=0.5, sampling_probability=0.25),
+        )
+        flood(net, rate=800, start=0.5)
+        net.run(until=3.0)
+        assert monitor.packets_sampled < monitor.packets_seen
+        assert len(alerts) >= 1  # scaled estimate still crosses threshold
+        monitor.stop()
+
+    def test_window_history_bounded(self, rig):
+        net, bus, _ = rig
+        monitor = TrafficMonitor(
+            "m", net.switches["s1"], StaticThresholdDetector(1e9), bus,
+            net.rng.child("mon"), MonitorConfig(window_s=0.01),
+        )
+        net.run(until=15.0)
+        assert len(monitor.window_history) <= 1000
+        monitor.stop()
+
+    def test_stop_halts_windows(self, rig):
+        net, bus, _ = rig
+        monitor = TrafficMonitor(
+            "m", net.switches["s1"], StaticThresholdDetector(100), bus,
+            net.rng.child("mon"), MonitorConfig(window_s=0.5),
+        )
+        net.run(until=1.1)
+        monitor.stop()
+        closed = monitor.windows_closed
+        net.run(until=3.0)
+        assert monitor.windows_closed == closed
+
+
+class TestMonitorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(window_s=0)
+        with pytest.raises(ValueError):
+            MonitorConfig(sampling_probability=0)
+        with pytest.raises(ValueError):
+            MonitorConfig(holddown_s=-1)
+
+
+class TestAlertBus:
+    def test_delivery_after_latency(self, sim):
+        bus = AlertBus(sim, latency_s=0.1)
+        got = []
+        bus.subscribe(lambda a: got.append(sim.now))
+        from repro.monitor.detectors import Detection
+        from tests.test_monitor_detectors import window
+
+        alert = Alert(
+            monitor="m", time=0.0,
+            detection=Detection("static", 1, 1, 1),
+            features=window(), victim_ip="10.0.0.1",
+        )
+        bus.publish(alert)
+        sim.run()
+        assert got == [0.1]
+        assert bus.published == 1
+
+    def test_multiple_subscribers(self, sim):
+        bus = AlertBus(sim, latency_s=0.0)
+        a_got, b_got = [], []
+        bus.subscribe(lambda a: a_got.append(a))
+        bus.subscribe(lambda a: b_got.append(a))
+        from repro.monitor.detectors import Detection
+        from tests.test_monitor_detectors import window
+
+        bus.publish(Alert("m", 0.0, Detection("x", 1, 1, 1), window(), "10.0.0.1"))
+        sim.run()
+        assert len(a_got) == 1 and len(b_got) == 1
+
+    def test_alert_ids_unique_and_describe(self, sim):
+        from repro.monitor.detectors import Detection
+        from tests.test_monitor_detectors import window
+
+        one = Alert("m", 0.0, Detection("x", 5, 2, 1), window(), "10.0.0.1")
+        two = Alert("m", 0.0, Detection("x", 5, 2, 1), window(), "10.0.0.1")
+        assert one.alert_id != two.alert_id
+        assert "victim=10.0.0.1" in one.describe()
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(ValueError):
+            AlertBus(sim, latency_s=-1)

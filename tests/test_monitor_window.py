@@ -1,0 +1,111 @@
+"""Tests for windowed accumulators and entropy, with property tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.monitor.window import EntropyAccumulator, SlidingRate, TumblingAccumulator
+
+
+class TestTumblingAccumulator:
+    def test_add_and_get(self):
+        acc = TumblingAccumulator()
+        acc.add("syn")
+        acc.add("syn", 2)
+        assert acc.get("syn") == 3
+        assert acc.get("missing") == 0
+
+    def test_snapshot_resets(self):
+        acc = TumblingAccumulator()
+        acc.add("x")
+        snap = acc.snapshot_and_reset()
+        assert snap == {"x": 1}
+        assert acc.get("x") == 0
+
+
+class TestSlidingRate:
+    def test_rate_over_horizon(self):
+        rate = SlidingRate(horizon_s=2.0)
+        for t in (0.0, 0.5, 1.0, 1.5):
+            rate.add(t)
+        assert rate.rate(now=1.5) == pytest.approx(4 / 2.0)
+
+    def test_eviction(self):
+        rate = SlidingRate(horizon_s=1.0)
+        rate.add(0.0)
+        rate.add(0.9)
+        assert rate.count(now=1.5) == 1
+        assert rate.count(now=2.5) == 0
+
+    def test_bulk_add(self):
+        rate = SlidingRate(horizon_s=1.0)
+        rate.add(0.0, count=5)
+        assert rate.count(0.5) == 5
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            SlidingRate(horizon_s=0)
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert EntropyAccumulator().entropy() == 0.0
+
+    def test_single_key_is_zero(self):
+        acc = EntropyAccumulator()
+        acc.add("a", 100)
+        assert acc.entropy() == 0.0
+
+    def test_uniform_is_one(self):
+        acc = EntropyAccumulator()
+        for key in "abcd":
+            acc.add(key, 10)
+        assert acc.entropy() == pytest.approx(1.0)
+
+    def test_skew_lowers_entropy(self):
+        uniform = EntropyAccumulator()
+        skewed = EntropyAccumulator()
+        for key in "abcd":
+            uniform.add(key, 25)
+        skewed.add("a", 97)
+        for key in "bcd":
+            skewed.add(key, 1)
+        assert skewed.entropy() < uniform.entropy()
+
+    def test_top(self):
+        acc = EntropyAccumulator()
+        acc.add("big", 10)
+        acc.add("small", 1)
+        assert acc.top(1) == [("big", 10)]
+
+    def test_totals_and_distinct(self):
+        acc = EntropyAccumulator()
+        acc.add("a")
+        acc.add("b", 2)
+        assert acc.total == 3
+        assert acc.distinct == 2
+
+    def test_reset(self):
+        acc = EntropyAccumulator()
+        acc.add("a")
+        acc.reset()
+        assert acc.total == 0 and acc.distinct == 0
+
+    @given(st.lists(st.sampled_from("abcdefgh"), min_size=2, max_size=200))
+    def test_entropy_always_in_unit_interval(self, keys):
+        acc = EntropyAccumulator()
+        for key in keys:
+            acc.add(key)
+        assert 0.0 <= acc.entropy() <= 1.0 + 1e-9
+
+    @given(st.integers(min_value=2, max_value=50))
+    def test_spoofed_uniform_population_maximal(self, n):
+        """n distinct single-shot sources (spoofed flood shape) -> entropy 1."""
+        acc = EntropyAccumulator()
+        for i in range(n):
+            acc.add(f"198.18.0.{i}")
+        assert acc.entropy() == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Tests for the dynamic ARP service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.arp import ETHERTYPE_ARP, OP_REPLY, OP_REQUEST, ArpMessage, ArpService
+from repro.net.headers import HeaderError, TCP_SYN, TcpHeader
+from repro.net.packet import Packet
+from repro.topology.builder import Network
+
+
+class TestArpMessage:
+    def test_roundtrip_request(self):
+        message = ArpMessage(
+            op=OP_REQUEST,
+            sender_mac="00:00:00:00:00:01",
+            sender_ip="10.0.0.1",
+            target_mac="00:00:00:00:00:00",
+            target_ip="10.0.0.2",
+        )
+        assert ArpMessage.unpack(message.pack()) == message
+
+    def test_roundtrip_reply(self):
+        message = ArpMessage(
+            op=OP_REPLY,
+            sender_mac="aa:bb:cc:dd:ee:ff",
+            sender_ip="192.168.1.1",
+            target_mac="00:00:00:00:00:01",
+            target_ip="192.168.1.2",
+        )
+        assert ArpMessage.unpack(message.pack()) == message
+
+    def test_length(self):
+        message = ArpMessage(OP_REQUEST, "00:00:00:00:00:01", "10.0.0.1",
+                             "00:00:00:00:00:00", "10.0.0.2")
+        assert len(message.pack()) == ArpMessage.LENGTH
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(HeaderError):
+            ArpMessage.unpack(b"\x00" * 10)
+
+    def test_wrong_hardware_type_rejected(self):
+        raw = bytearray(
+            ArpMessage(OP_REQUEST, "00:00:00:00:00:01", "10.0.0.1",
+                       "00:00:00:00:00:00", "10.0.0.2").pack()
+        )
+        raw[0:2] = (6).to_bytes(2, "big")
+        with pytest.raises(HeaderError):
+            ArpMessage.unpack(bytes(raw))
+
+
+@pytest.fixture
+def arp_net():
+    """Switch + two hosts with ARP services and EMPTY static tables."""
+    net = Network(seed=1)
+    net.add_switch("s1")
+    net.add_host("h1")
+    net.add_host("h2")
+    net.link("h1", "s1")
+    net.link("h2", "s1")
+    # No static ARP: the service must resolve addresses itself.
+    net.finalize(static_arp=False)
+    services = {
+        name: ArpService(net.hosts[name]) for name in ("h1", "h2")
+    }
+    return net, services
+
+
+def ip_packet(net, src="h1", dst_ip=None):
+    src_host = net.hosts[src]
+    dst_ip = dst_ip or net.hosts["h2"].ip
+    return Packet.tcp_packet(
+        src_host.mac, "00:00:00:00:00:00", src_host.ip, dst_ip,
+        TcpHeader(1000, 80, flags=TCP_SYN),
+    )
+
+
+class TestArpService:
+    def test_resolution_delivers_queued_packet(self, arp_net):
+        net, services = arp_net
+        h2_got = []
+        net.hosts["h2"].add_sniffer(
+            lambda p: h2_got.append(p) if p.tcp is not None else None
+        )
+        assert services["h1"].send_ip_packet(ip_packet(net)) is True
+        net.run(until=2.0)
+        assert len(h2_got) == 1
+        assert services["h1"].requests_sent == 1
+        assert services["h2"].replies_sent == 1
+
+    def test_cache_hit_skips_request(self, arp_net):
+        net, services = arp_net
+        services["h1"].send_ip_packet(ip_packet(net))
+        net.run(until=2.0)
+        services["h1"].send_ip_packet(ip_packet(net))
+        net.run(until=4.0)
+        assert services["h1"].requests_sent == 1  # second send used the cache
+
+    def test_responder_learns_requester_passively(self, arp_net):
+        net, services = arp_net
+        services["h1"].send_ip_packet(ip_packet(net))
+        net.run(until=2.0)
+        assert services["h2"].lookup(net.hosts["h1"].ip) == net.hosts["h1"].mac
+
+    def test_unanswered_request_times_out_and_drops(self, arp_net):
+        net, services = arp_net
+        service = services["h1"]
+        assert service.send_ip_packet(ip_packet(net, dst_ip="10.0.0.99")) is True
+        net.run(until=10.0)
+        assert service.resolutions_failed == 1
+        assert service.packets_dropped == 1
+        # One initial request plus the configured retry.
+        assert service.requests_sent == 1 + service.request_retries
+
+    def test_queue_overflow_drops_immediately(self, arp_net):
+        net, services = arp_net
+        service = services["h1"]
+        results = [
+            service.send_ip_packet(ip_packet(net, dst_ip="10.0.0.99"))
+            for _ in range(service.max_queued_per_ip + 3)
+        ]
+        assert results.count(False) == 3
+
+    def test_cache_ttl_expiry_triggers_new_request(self, arp_net):
+        net, services = arp_net
+        service = services["h1"]
+        service.cache_ttl_s = 1.0
+        service.send_ip_packet(ip_packet(net))
+        net.run(until=0.5)
+        net.sim.run(until=2.0)  # let the cache entry age out
+        service.send_ip_packet(ip_packet(net))
+        net.run(until=4.0)
+        assert service.requests_sent == 2
+
+    def test_static_table_used_as_fallback(self, arp_net):
+        net, services = arp_net
+        net.hosts["h1"].arp_table[net.hosts["h2"].ip] = net.hosts["h2"].mac
+        assert services["h1"].lookup(net.hosts["h2"].ip) == net.hosts["h2"].mac
+        services["h1"].send_ip_packet(ip_packet(net))
+        assert services["h1"].requests_sent == 0
+
+    def test_arp_frames_are_real_ethernet(self, arp_net):
+        net, services = arp_net
+        seen = []
+        net.hosts["h2"].add_sniffer(
+            lambda p: seen.append(p) if p.eth.ethertype == ETHERTYPE_ARP else None
+        )
+        services["h1"].send_ip_packet(ip_packet(net))
+        net.run(until=2.0)
+        assert len(seen) >= 1
+        parsed = ArpMessage.unpack(seen[0].payload)
+        assert parsed.op == OP_REQUEST
+        assert parsed.target_ip == net.hosts["h2"].ip

@@ -1,0 +1,203 @@
+"""Tests for wire-format headers: roundtrips, checksums, corruption."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    PROTO_TCP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    EthernetHeader,
+    HeaderError,
+    IcmpHeader,
+    IPv4Header,
+    TcpHeader,
+    UdpHeader,
+    internet_checksum,
+)
+
+ports = st.integers(min_value=0, max_value=65535)
+seqs = st.integers(min_value=0, max_value=2**32 - 1)
+octet = st.integers(min_value=0, max_value=255)
+ips = st.tuples(octet, octet, octet, octet).map(lambda t: ".".join(map(str, t)))
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example-style data.
+        assert internet_checksum(b"\x00\x01\xf2\x03\xf4\xf5\xf6\xf7") == 0x220D
+
+    def test_checksum_of_data_plus_checksum_is_zero(self):
+        data = b"hello world!"
+        checksum = internet_checksum(data)
+        verified = internet_checksum(data + bytes([checksum >> 8, checksum & 0xFF]))
+        assert verified == 0
+
+    def test_odd_length_padding(self):
+        assert internet_checksum(b"\xff") == internet_checksum(b"\xff\x00")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader("00:00:00:00:00:01", "00:00:00:00:00:02", ETHERTYPE_IPV4)
+        packed = header.pack()
+        assert len(packed) == 14
+        parsed, rest = EthernetHeader.unpack(packed + b"payload")
+        assert parsed == header
+        assert rest == b"payload"
+
+    def test_too_short_rejected(self):
+        with pytest.raises(HeaderError):
+            EthernetHeader.unpack(b"\x00" * 13)
+
+    def test_dst_comes_first_on_wire(self):
+        header = EthernetHeader("00:00:00:00:00:01", "ff:ff:ff:ff:ff:ff")
+        packed = header.pack()
+        assert packed[:6] == b"\xff" * 6
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        header = IPv4Header("10.0.0.1", "10.0.0.2", PROTO_TCP, total_length=40, ttl=64)
+        parsed, rest = IPv4Header.unpack(header.pack() + b"xx")
+        assert parsed == header
+        assert rest == b"xx"
+
+    def test_checksum_corruption_detected(self):
+        packed = bytearray(IPv4Header("10.0.0.1", "10.0.0.2", PROTO_TCP).pack())
+        packed[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(HeaderError):
+            IPv4Header.unpack(bytes(packed))
+
+    def test_non_ipv4_version_rejected(self):
+        packed = bytearray(IPv4Header("10.0.0.1", "10.0.0.2", PROTO_TCP).pack())
+        packed[0] = (6 << 4) | 5
+        with pytest.raises(HeaderError):
+            IPv4Header.unpack(bytes(packed))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(HeaderError):
+            IPv4Header.unpack(b"\x45" + b"\x00" * 10)
+
+    def test_decrement_ttl(self):
+        header = IPv4Header("10.0.0.1", "10.0.0.2", PROTO_TCP, ttl=2)
+        assert header.decrement_ttl().ttl == 1
+        with pytest.raises(HeaderError):
+            IPv4Header("10.0.0.1", "10.0.0.2", PROTO_TCP, ttl=0).decrement_ttl()
+
+    @given(src=ips, dst=ips, ttl=st.integers(min_value=1, max_value=255))
+    def test_roundtrip_property(self, src, dst, ttl):
+        header = IPv4Header(src, dst, PROTO_TCP, total_length=20, ttl=ttl)
+        parsed, _ = IPv4Header.unpack(header.pack())
+        assert parsed == header
+
+
+class TestTcp:
+    def test_roundtrip_with_payload(self):
+        header = TcpHeader(1234, 80, seq=42, ack=7, flags=TCP_SYN | TCP_ACK, window=1000)
+        packed = header.pack("10.0.0.1", "10.0.0.2", b"data")
+        parsed, payload = TcpHeader.unpack(packed, "10.0.0.1", "10.0.0.2")
+        assert parsed == header
+        assert payload == b"data"
+
+    def test_checksum_covers_pseudo_header(self):
+        header = TcpHeader(1, 2, flags=TCP_SYN)
+        packed = header.pack("10.0.0.1", "10.0.0.2")
+        # Parsing with the wrong addresses must fail the checksum.
+        with pytest.raises(HeaderError):
+            TcpHeader.unpack(packed, "10.0.0.1", "10.0.0.99")
+
+    def test_checksum_corruption_detected(self):
+        packed = bytearray(TcpHeader(1, 2, flags=TCP_SYN).pack("10.0.0.1", "10.0.0.2"))
+        packed[4] ^= 0x01  # corrupt seq
+        with pytest.raises(HeaderError):
+            TcpHeader.unpack(bytes(packed), "10.0.0.1", "10.0.0.2")
+
+    def test_verify_false_skips_checksum(self):
+        packed = bytearray(TcpHeader(1, 2, flags=TCP_SYN).pack("10.0.0.1", "10.0.0.2"))
+        packed[4] ^= 0x01
+        parsed, _ = TcpHeader.unpack(bytes(packed), "10.0.0.1", "10.0.0.2", verify=False)
+        assert parsed.src_port == 1
+
+    def test_flag_properties(self):
+        syn = TcpHeader(1, 2, flags=TCP_SYN)
+        assert syn.syn and not syn.ack_flag and not syn.rst and not syn.fin
+        synack = TcpHeader(1, 2, flags=TCP_SYN | TCP_ACK)
+        assert synack.syn and synack.ack_flag
+        rstfin = TcpHeader(1, 2, flags=TCP_RST | TCP_FIN)
+        assert rstfin.rst and rstfin.fin
+
+    def test_flag_names(self):
+        assert TcpHeader(1, 2, flags=TCP_SYN | TCP_ACK).flag_names() == "SYN|ACK"
+        assert TcpHeader(1, 2, flags=0).flag_names() == "-"
+        assert TcpHeader(1, 2, flags=TCP_PSH).flag_names() == "PSH"
+
+    def test_too_short_rejected(self):
+        with pytest.raises(HeaderError):
+            TcpHeader.unpack(b"\x00" * 10, "10.0.0.1", "10.0.0.2")
+
+    @given(
+        src_port=ports, dst_port=ports, seq=seqs, ack=seqs,
+        flags=st.integers(min_value=0, max_value=0x3F),
+        payload=st.binary(max_size=64),
+    )
+    def test_roundtrip_property(self, src_port, dst_port, seq, ack, flags, payload):
+        header = TcpHeader(src_port, dst_port, seq=seq, ack=ack, flags=flags)
+        packed = header.pack("172.16.0.1", "172.16.0.2", payload)
+        parsed, got = TcpHeader.unpack(packed, "172.16.0.1", "172.16.0.2")
+        assert parsed == header
+        assert got == payload
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        header = UdpHeader(5353, 53)
+        packed = header.pack("10.0.0.1", "10.0.0.2", b"query")
+        parsed, payload = UdpHeader.unpack(packed, "10.0.0.1", "10.0.0.2")
+        assert parsed == header
+        assert payload == b"query"
+
+    def test_checksum_corruption_detected(self):
+        packed = bytearray(UdpHeader(1, 2).pack("10.0.0.1", "10.0.0.2", b"x"))
+        packed[8] ^= 0xFF
+        with pytest.raises(HeaderError):
+            UdpHeader.unpack(bytes(packed), "10.0.0.1", "10.0.0.2")
+
+    def test_bad_length_field_rejected(self):
+        packed = bytearray(UdpHeader(1, 2).pack("10.0.0.1", "10.0.0.2"))
+        packed[4:6] = (999).to_bytes(2, "big")
+        with pytest.raises(HeaderError):
+            UdpHeader.unpack(bytes(packed), "10.0.0.1", "10.0.0.2")
+
+    @given(src_port=ports, dst_port=ports, payload=st.binary(max_size=64))
+    def test_roundtrip_property(self, src_port, dst_port, payload):
+        header = UdpHeader(src_port, dst_port)
+        packed = header.pack("10.1.0.1", "10.1.0.2", payload)
+        parsed, got = UdpHeader.unpack(packed, "10.1.0.1", "10.1.0.2")
+        assert parsed == header
+        assert got == payload
+
+
+class TestIcmp:
+    def test_roundtrip(self):
+        header = IcmpHeader(IcmpHeader.ECHO_REQUEST, identifier=7, sequence=3)
+        parsed, payload = IcmpHeader.unpack(header.pack(b"ping"))
+        assert parsed == header
+        assert payload == b"ping"
+
+    def test_checksum_corruption_detected(self):
+        packed = bytearray(IcmpHeader(8).pack(b"x"))
+        packed[4] ^= 0xFF
+        with pytest.raises(HeaderError):
+            IcmpHeader.unpack(bytes(packed))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(HeaderError):
+            IcmpHeader.unpack(b"\x08\x00")

@@ -1,0 +1,133 @@
+"""Tests for the Packet container and the byte-level parse path."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.headers import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_SYN,
+    EthernetHeader,
+    IcmpHeader,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.net.packet import Packet, parse_packet
+
+MAC_A = "00:00:00:00:00:01"
+MAC_B = "00:00:00:00:00:02"
+
+
+def tcp_packet(payload=b"", flags=TCP_SYN, src_ip="10.0.0.1", dst_ip="10.0.0.2"):
+    return Packet.tcp_packet(
+        MAC_A, MAC_B, src_ip, dst_ip, TcpHeader(1234, 80, seq=1, flags=flags), payload
+    )
+
+
+class TestBuilders:
+    def test_tcp_packet_fields(self):
+        p = tcp_packet(b"abc")
+        assert p.is_tcp
+        assert p.src_ip == "10.0.0.1" and p.dst_ip == "10.0.0.2"
+        assert p.ip.protocol == PROTO_TCP
+        assert p.ip.total_length == 20 + 20 + 3
+
+    def test_udp_packet_fields(self):
+        p = Packet.udp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", UdpHeader(53, 53), b"q")
+        assert p.udp is not None and p.ip.protocol == PROTO_UDP
+        assert p.ip.total_length == 20 + 8 + 1
+
+    def test_icmp_packet_fields(self):
+        p = Packet.icmp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", IcmpHeader(8), b"ping")
+        assert p.icmp is not None and p.ip.protocol == PROTO_ICMP
+
+    def test_packet_ids_are_unique(self):
+        assert tcp_packet().packet_id != tcp_packet().packet_id
+
+    def test_size_bytes(self):
+        assert tcp_packet(b"abcd").size_bytes == 14 + 20 + 20 + 4
+
+
+class TestFlowKey:
+    def test_tcp_flow_key(self):
+        assert tcp_packet().flow_key() == ("10.0.0.1", 1234, "10.0.0.2", 80, PROTO_TCP)
+
+    def test_udp_flow_key(self):
+        p = Packet.udp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", UdpHeader(5, 6))
+        assert p.flow_key() == ("10.0.0.1", 5, "10.0.0.2", 6, PROTO_UDP)
+
+    def test_icmp_flow_key_uses_protocol(self):
+        p = Packet.icmp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", IcmpHeader(8))
+        assert p.flow_key() == ("10.0.0.1", 0, "10.0.0.2", 0, PROTO_ICMP)
+
+    def test_l2_only_flow_key(self):
+        p = Packet(eth=EthernetHeader(MAC_A, MAC_B, 0x86DD))
+        assert p.flow_key() == (MAC_A, 0, MAC_B, 0, -1)
+
+
+class TestCopyForward:
+    def test_copy_gets_new_id_same_headers(self):
+        p = tcp_packet(b"x")
+        q = p.copy()
+        assert q.packet_id != p.packet_id
+        assert q.tcp == p.tcp and q.ip == p.ip and q.payload == p.payload
+
+    def test_forwarded_decrements_ttl(self):
+        p = tcp_packet()
+        q = p.forwarded()
+        assert q.ip.ttl == p.ip.ttl - 1
+        assert p.ip.ttl == 64  # original untouched
+
+
+class TestWireRoundtrip:
+    def test_tcp_roundtrip(self):
+        p = tcp_packet(b"hello", flags=TCP_SYN | TCP_ACK)
+        q = parse_packet(p.to_bytes())
+        assert q.eth == p.eth
+        assert q.ip == p.ip
+        assert q.tcp == p.tcp
+        assert q.payload == b"hello"
+
+    def test_udp_roundtrip(self):
+        p = Packet.udp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", UdpHeader(9, 10), b"dgram")
+        q = parse_packet(p.to_bytes())
+        assert q.udp == p.udp and q.payload == b"dgram"
+
+    def test_icmp_roundtrip(self):
+        p = Packet.icmp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", IcmpHeader(8, identifier=1), b"E")
+        q = parse_packet(p.to_bytes())
+        assert q.icmp == p.icmp and q.payload == b"E"
+
+    def test_non_ip_frame_parses_as_l2(self):
+        p = Packet(eth=EthernetHeader(MAC_A, MAC_B, 0x0806), payload=b"arp-ish")
+        q = parse_packet(p.to_bytes())
+        assert q.ip is None and q.payload == b"arp-ish"
+
+    @given(payload=st.binary(max_size=100), flags=st.sampled_from([TCP_SYN, TCP_ACK, TCP_SYN | TCP_ACK]))
+    def test_tcp_roundtrip_property(self, payload, flags):
+        p = tcp_packet(payload, flags=flags)
+        q = parse_packet(p.to_bytes())
+        assert q.tcp == p.tcp and q.payload == payload
+
+
+class TestDescribe:
+    def test_tcp_describe(self):
+        text = tcp_packet().describe()
+        assert "10.0.0.1:1234" in text and "SYN" in text
+
+    def test_udp_describe(self):
+        p = Packet.udp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", UdpHeader(1, 2))
+        assert "UDP" in p.describe()
+
+    def test_icmp_describe(self):
+        p = Packet.icmp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", IcmpHeader(8))
+        assert "ICMP" in p.describe()
+
+    def test_l2_describe(self):
+        p = Packet(eth=EthernetHeader(MAC_A, MAC_B, 0x1234))
+        assert "0x1234" in p.describe()

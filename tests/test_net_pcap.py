@@ -1,0 +1,123 @@
+"""Tests for pcap export."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.net.headers import TCP_SYN, TcpHeader
+from repro.net.packet import Packet, parse_packet
+from repro.net.pcap import LINKTYPE_ETHERNET, PCAP_MAGIC, PcapTap, PcapWriter, read_pcap
+
+MAC_A = "00:00:00:00:00:01"
+MAC_B = "00:00:00:00:00:02"
+
+
+def packet(payload=b"data"):
+    return Packet.tcp_packet(
+        MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", TcpHeader(1234, 80, flags=TCP_SYN), payload
+    )
+
+
+class TestPcapWriter:
+    def test_global_header_fields(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        raw = buffer.getvalue()
+        magic, major, minor, _tz, _sig, snaplen, linktype = struct.unpack(
+            "<IHHiIII", raw[:24]
+        )
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        assert snaplen == 65535
+        assert linktype == LINKTYPE_ETHERNET
+
+    def test_roundtrip_single_packet(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        original = packet(b"hello-capture")
+        writer.write(original, timestamp_s=12.345678)
+        buffer.seek(0)
+        records = read_pcap(buffer)
+        assert len(records) == 1
+        timestamp, raw = records[0]
+        assert timestamp == pytest.approx(12.345678, abs=1e-6)
+        parsed = parse_packet(raw)
+        assert parsed.tcp == original.tcp
+        assert parsed.payload == b"hello-capture"
+
+    def test_multiple_packets_ordered(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for i in range(5):
+            writer.write(packet(bytes([i])), timestamp_s=float(i))
+        assert writer.packets_written == 5
+        buffer.seek(0)
+        records = read_pcap(buffer)
+        assert [t for t, _ in records] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_snaplen_truncates(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=20)
+        writer.write(packet(b"X" * 100), timestamp_s=0.0)
+        buffer.seek(0)
+        records = read_pcap(buffer)
+        assert len(records[0][1]) == 20
+
+    def test_micro_rounding_carries(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(packet(), timestamp_s=1.9999999)
+        buffer.seek(0)
+        timestamp, _ = read_pcap(buffer)[0]
+        assert timestamp == pytest.approx(2.0, abs=1e-6)
+
+    def test_reader_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            read_pcap(io.BytesIO(b"\x00" * 24))
+        with pytest.raises(ValueError):
+            read_pcap(io.BytesIO(b"short"))
+
+
+class TestPcapTap:
+    def test_captures_switch_traffic(self, tmp_path):
+        from repro.topology import single_switch
+        from repro.workload import StandardWorkload, WorkloadConfig
+
+        net, roles = single_switch(n_clients=1, n_attackers=1)
+        wl = StandardWorkload(
+            net, roles, WorkloadConfig(attack_rate_pps=100, attack_start_s=1.0)
+        )
+        path = str(tmp_path / "capture.pcap")
+        tap = PcapTap.on_switch(net.switches["s1"], path)
+        wl.start()
+        net.run(until=3.0)
+        tap.close()
+        assert tap.packets_captured > 100
+        with open(path, "rb") as handle:
+            records = read_pcap(handle)
+        assert len(records) == tap.packets_captured
+        # Every record re-parses as a valid frame; floods are visible.
+        syns = 0
+        for _, raw in records:
+            parsed = parse_packet(raw)
+            if parsed.tcp is not None and parsed.tcp.syn and not parsed.tcp.ack_flag:
+                syns += 1
+        assert syns > 50
+
+    def test_timestamps_monotonic(self, tmp_path):
+        from repro.topology import single_switch
+        from repro.workload import StandardWorkload, WorkloadConfig
+
+        net, roles = single_switch(n_clients=1, n_attackers=1)
+        wl = StandardWorkload(net, roles, WorkloadConfig(attack_rate_pps=100))
+        path = str(tmp_path / "mono.pcap")
+        tap = PcapTap.on_switch(net.switches["s1"], path)
+        wl.start()
+        net.run(until=2.0)
+        tap.close()
+        with open(path, "rb") as handle:
+            times = [t for t, _ in read_pcap(handle)]
+        assert times == sorted(times)

@@ -1,0 +1,95 @@
+"""Tests for the ICMP echo service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.ping import PingService
+from repro.topology import dumbbell, linear
+from repro.topology.builder import Network
+
+
+@pytest.fixture
+def ping_net():
+    net, roles = dumbbell(n_clients=2, n_attackers=0)
+    services = {
+        name: PingService(net.hosts[name]) for name in ("cli1", "cli2", "srv1")
+    }
+    return net, services
+
+
+class TestPing:
+    def test_basic_rtt_measurement(self, ping_net):
+        net, services = ping_net
+        result = services["cli1"].ping(net.hosts["srv1"].ip, count=4)
+        net.run(until=5.0)
+        assert result.sent == 4
+        assert result.received == 4
+        assert result.loss_rate == 0.0
+        # Dumbbell path: 3 links of 1ms each way plus serialization.
+        assert 0.005 < result.mean_rtt < 0.05
+
+    def test_responder_counts_requests(self, ping_net):
+        net, services = ping_net
+        services["cli1"].ping(net.hosts["srv1"].ip, count=3)
+        net.run(until=5.0)
+        assert services["srv1"].requests_answered == 3
+
+    def test_ping_unreachable_times_out(self, ping_net):
+        net, services = ping_net
+        net.hosts["cli1"].arp_table["203.0.113.1"] = "00:00:00:00:00:77"
+        result = services["cli1"].ping("203.0.113.1", count=3)
+        net.run(until=10.0)
+        assert result.received == 0
+        assert result.loss_rate == 1.0
+
+    def test_on_complete_fires_after_train(self, ping_net):
+        net, services = ping_net
+        done = []
+        services["cli1"].ping(
+            net.hosts["srv1"].ip, count=2, on_complete=lambda r: done.append(net.sim.now)
+        )
+        net.run(until=10.0)
+        assert len(done) == 1
+        assert done[0] >= 0.25 + 2.0  # last probe + timeout
+
+    def test_rtt_grows_with_hop_count(self):
+        short_net, _ = linear(n_switches=2)
+        long_net, _ = linear(n_switches=8)
+
+        def measure(net):
+            service = PingService(net.hosts["cli1"])
+            PingService(net.hosts["srv1"])
+            result = service.ping(net.hosts["srv1"].ip, count=3)
+            net.run(until=5.0)
+            return result.mean_rtt
+
+        assert measure(long_net) > measure(short_net)
+
+    def test_concurrent_pings_do_not_interfere(self, ping_net):
+        net, services = ping_net
+        a = services["cli1"].ping(net.hosts["srv1"].ip, count=3)
+        b = services["cli2"].ping(net.hosts["srv1"].ip, count=3)
+        net.run(until=5.0)
+        assert a.received == 3 and b.received == 3
+
+    def test_count_validation(self, ping_net):
+        net, services = ping_net
+        with pytest.raises(ValueError):
+            services["cli1"].ping("10.0.0.1", count=0)
+
+    def test_mitigation_drop_rule_blocks_ping(self, ping_net):
+        """Pings measure the data plane: a drop rule shows up as loss."""
+        from repro.mitigation.manager import MitigationConfig, MitigationManager, MitigationMode
+
+        net, services = ping_net
+        manager = MitigationManager(
+            net.controller, MitigationConfig(mode=MitigationMode.BLOCK_SOURCES)
+        )
+        manager.mitigate(net.hosts["srv1"].ip, [net.hosts["cli1"].ip])
+        net.run(until=0.5)
+        blocked = services["cli1"].ping(net.hosts["srv1"].ip, count=3)
+        open_path = services["cli2"].ping(net.hosts["srv1"].ip, count=3)
+        net.run(until=6.0)
+        assert blocked.received == 0
+        assert open_path.received == 3

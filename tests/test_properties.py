@@ -1,0 +1,220 @@
+"""Cross-cutting property-based tests on core invariants.
+
+Three suites: a model-based flow table check against a naive reference,
+TCP handshake invariants under randomized flood/benign interleavings,
+and conservation laws on the link layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.net.headers import TCP_ACK, TCP_SYN, TcpHeader
+from repro.net.packet import Packet
+from repro.openflow.actions import Output
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+
+MAC = "00:00:00:00:00:01"
+
+
+# --------------------------------------------------------------------------
+# Model-based flow table testing: the table must agree with a brute-force
+# reference on every lookup after any sequence of installs/removals.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _ReferenceTable:
+    """Brute-force reference semantics for FlowTable."""
+
+    entries: list = field(default_factory=list)
+
+    def install(self, match, priority, token):
+        for i, (m, p, _) in enumerate(self.entries):
+            if m == match and p == priority:
+                self.entries[i] = (match, priority, token)
+                return
+        self.entries.append((match, priority, token))
+
+    def remove(self, filter_match):
+        self.entries = [
+            (m, p, t) for m, p, t in self.entries if not filter_match.subsumes(m)
+        ]
+
+    def lookup(self, packet, in_port):
+        best = None
+        for index, (match, priority, token) in enumerate(self.entries):
+            if match.matches(packet, in_port):
+                # Highest priority wins; earliest install breaks ties.
+                if best is None or priority > best[0]:
+                    best = (priority, index, token)
+        return best[2] if best else None
+
+
+_matches = st.one_of(
+    st.just(Match.any()),
+    st.sampled_from([Match(ip_dst=f"10.0.0.{i}") for i in range(1, 5)]),
+    st.sampled_from([Match(ip_src=f"10.0.0.{i}") for i in range(1, 5)]),
+    st.sampled_from([Match(ip_src="10.0.0.0/24"), Match(ip_dst="10.0.0.0/30")]),
+    st.sampled_from([Match(tp_dst=80), Match(tp_dst=443), Match(ip_proto=6)]),
+)
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("install"), _matches, st.integers(min_value=1, max_value=3)),
+        st.tuples(st.just("remove"), _matches, st.just(0)),
+    ),
+    max_size=30,
+)
+
+
+class TestFlowTableModel:
+    @given(ops=_operations, dst_last=st.integers(min_value=1, max_value=4),
+           src_last=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_lookup_agrees_with_reference(self, ops, dst_last, src_last):
+        table = FlowTable()
+        reference = _ReferenceTable()
+        for token, (op, match, priority) in enumerate(ops):
+            if op == "install":
+                entry = FlowEntry(match=match, actions=(Output(1),), priority=priority,
+                                  cookie=token)
+                table.install(entry, now=0.0)
+                reference.install(match, priority, token)
+            else:
+                table.remove_matching(match)
+                reference.remove(match)
+        packet = Packet.tcp_packet(
+            MAC, MAC, f"10.0.0.{src_last}", f"10.0.0.{dst_last}",
+            TcpHeader(1234, 80, flags=TCP_SYN),
+        )
+        got = table.lookup(packet, 1, now=1.0)
+        expected = reference.lookup(packet, 1)
+        assert (got.cookie if got else None) == expected
+
+
+# --------------------------------------------------------------------------
+# TCP invariants under random interleavings of flood and benign traffic.
+# --------------------------------------------------------------------------
+
+
+class TestTcpInvariants:
+    @given(
+        events=st.lists(
+            st.one_of(
+                st.tuples(st.just("flood"), st.integers(min_value=1, max_value=250)),
+                st.tuples(st.just("benign"), st.integers(min_value=0, max_value=3)),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        backlog=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_backlog_never_exceeded_and_counters_balance(self, events, backlog):
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import SeededRng
+        from tests.conftest import HostPair
+
+        sim = Simulator()
+        rng = SeededRng(1)
+        pair = HostPair(sim, rng)
+        socket = pair.stack_b.listen(80, backlog=backlog)
+        established = []
+        gap = 0.01
+        for i, (kind, arg) in enumerate(events):
+            when = i * gap
+            if kind == "flood":
+                header = TcpHeader(
+                    src_port=5000 + i, dst_port=80, seq=i, flags=TCP_SYN
+                )
+                sim.schedule(
+                    when,
+                    lambda h=header, a=arg: pair.a.send_tcp(
+                        "10.0.0.2", h, src_ip=f"198.18.0.{a}"
+                    ),
+                )
+            else:
+                sim.schedule(
+                    when,
+                    lambda: pair.stack_a.connect(
+                        "10.0.0.2", 80,
+                        on_established=lambda c: established.append(c),
+                    ),
+                )
+            # Invariant checked densely along the way.
+            sim.schedule(when + gap / 2, lambda: _assert_backlog(socket, backlog))
+        sim.run(until=60.0)
+        _assert_backlog(socket, backlog)
+        counters = pair.stack_b.counters
+        # Everything that entered the backlog left it exactly one way:
+        # accepted, expired, or still pending.
+        entered = socket.accepted + counters.half_open_expired + socket.half_open_count
+        assert entered == counters.syn_acks_sent
+        # Benign connects either completed or are still retrying; the
+        # stack never manufactures connections.
+        assert socket.accepted >= len(established)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_handshake_deterministic_per_seed(self, seed):
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import SeededRng
+        from tests.conftest import HostPair
+
+        def run_once():
+            sim = Simulator()
+            pair = HostPair(sim, SeededRng(seed))
+            pair.stack_b.listen(80)
+            log = []
+            pair.stack_a.connect(
+                "10.0.0.2", 80, on_established=lambda c: log.append(("up", sim.now))
+            )
+            sim.run(until=5.0)
+            return log
+
+        assert run_once() == run_once()
+
+
+def _assert_backlog(socket, backlog):
+    assert socket.half_open_count <= backlog
+
+
+# --------------------------------------------------------------------------
+# Link conservation: every offered packet is delivered, queued, dropped
+# or lost — never duplicated, never unaccounted for.
+# --------------------------------------------------------------------------
+
+
+class TestLinkConservation:
+    @given(
+        n_packets=st.integers(min_value=1, max_value=120),
+        queue=st.integers(min_value=1, max_value=20),
+        loss=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_offered_equals_accounted(self, n_packets, queue, loss):
+        from repro.net.link import Link
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import SeededRng
+        from tests.test_net_link import Sink, make_packet
+
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = Link(
+            sim, a.port, b.port, bandwidth_bps=1e6, queue_packets=queue,
+            loss_probability=loss, rng=SeededRng(3) if loss > 0 else None,
+        )
+        for _ in range(n_packets):
+            a.port.send(make_packet())
+        sim.run()
+        stats = link.stats_for(a.port)
+        accounted = len(b.received) + stats.packets_dropped + stats.packets_lost
+        assert accounted == n_packets
+        assert stats.packets_sent == len(b.received) + stats.packets_lost

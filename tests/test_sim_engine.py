@@ -1,0 +1,158 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("late"))
+        q.push(1.0, lambda: order.append("early"))
+        q.pop().fn()
+        q.pop().fn()
+        assert order == ["early", "late"]
+
+    def test_fifo_within_same_instant(self):
+        q = EventQueue()
+        events = [q.push(1.0, lambda i=i: i) for i in range(5)]
+        popped = [q.pop() for _ in range(5)]
+        assert [e.seq for e in popped] == [e.seq for e in events]
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        second = q.push(2.0, lambda: None)
+        first.cancel()
+        q.note_cancelled()
+        assert q.pop() is second
+
+    def test_len_reflects_live_events(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        assert len(q) == 1
+        e.cancel()
+        q.note_cancelled()
+        assert len(q) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        first.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 5.0
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_and_run(self, sim):
+        fired = []
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_advances_clock_to_until(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_excludes_later_events(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("in"))
+        sim.schedule(15.0, lambda: fired.append("out"))
+        sim.run(until=10.0)
+        assert fired == ["in"]
+        assert sim.pending() == 1
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_zero_delay_runs_fifo(self, sim):
+        order = []
+        sim.schedule(0.0, lambda: order.append(1))
+        sim.schedule(0.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_events_can_schedule_more_events(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(1.0, lambda: chain(2))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancel_pending_event(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("no"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+        assert sim.pending() == 0
+
+    def test_double_cancel_is_noop(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        assert sim.pending() == 0
+
+    def test_stop_halts_run(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_bounds_execution(self, sim):
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_executed == 3
+        assert sim.pending() == 7
+
+    def test_not_reentrant(self, sim):
+        def recurse():
+            sim.run()
+
+        sim.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_returns_final_time(self, sim):
+        sim.schedule(2.5, lambda: None)
+        assert sim.run() == 2.5
+
+    def test_events_executed_accumulates_across_runs(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2

@@ -1,0 +1,149 @@
+"""Tests for timers, periodic tasks and arrival processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.process import Interval, PeriodicTask, Timer
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_restart_resets_deadline(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.schedule(1.0, lambda: timer.start(5.0))
+        sim.run()
+        assert fired == [6.0]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_armed_reflects_state(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+    def test_timer_can_rearm_itself(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: None)
+
+        def fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer._fn = fire
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodicTask:
+    def test_ticks_at_fixed_period(self, sim):
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        task.start()
+        sim.run(until=3.5)
+        assert times == [1.0, 2.0, 3.0]
+        assert task.ticks == 3
+
+    def test_start_immediately_uses_initial_delay_zero(self, sim):
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        task.start(initial_delay=0.0)
+        sim.run(until=2.5)
+        assert times == [0.0, 1.0, 2.0]
+
+    def test_stop_halts_ticks(self, sim):
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: times.append(sim.now))
+        task.start()
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10)
+        assert times == [1.0, 2.0]
+
+    def test_callback_may_stop_task(self, sim):
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda: (times.append(sim.now), task.stop()))
+        task.start()
+        sim.run(until=10)
+        assert times == [1.0]
+
+    def test_double_start_is_noop(self, sim):
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        task.start()
+        task.start()
+        sim.run(until=2.5)
+        assert task.ticks == 2
+
+    def test_invalid_period_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+    def test_running_property(self, sim):
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        assert not task.running
+        task.start()
+        assert task.running
+        task.stop()
+        assert not task.running
+
+
+class TestInterval:
+    def test_constant_rate_arrival_count(self, sim):
+        count = []
+        interval = Interval.constant(sim, 10.0, lambda: count.append(sim.now))
+        interval.start()
+        sim.run(until=1.0)
+        assert len(count) == 10  # arrivals at 0.1, 0.2, ..., 1.0
+
+    def test_poisson_rate_is_approximately_right(self, sim, rng):
+        count = []
+        interval = Interval.poisson(sim, rng, 100.0, lambda: count.append(1))
+        interval.start()
+        sim.run(until=10.0)
+        # 1000 expected; Poisson sd ~ 32, allow 5 sigma.
+        assert 840 <= len(count) <= 1160
+
+    def test_stop_halts_arrivals(self, sim):
+        count = []
+        interval = Interval.constant(sim, 10.0, lambda: count.append(1))
+        interval.start()
+        sim.schedule(0.55, interval.stop)
+        sim.run(until=2.0)
+        assert len(count) == 5
+
+    def test_initial_delay_defers_first_arrival(self, sim):
+        times = []
+        interval = Interval.constant(sim, 1.0, lambda: times.append(sim.now))
+        interval.start(initial_delay=5.0)
+        sim.run(until=7.5)
+        assert times == [6.0, 7.0]
+
+    def test_invalid_rate_rejected(self, sim, rng):
+        with pytest.raises(ValueError):
+            Interval.constant(sim, 0.0, lambda: None)
+        with pytest.raises(ValueError):
+            Interval.poisson(sim, rng, -1.0, lambda: None)
+
+    def test_arrivals_counter(self, sim):
+        interval = Interval.constant(sim, 10.0, lambda: None)
+        interval.start()
+        sim.run(until=1.0)
+        assert interval.arrivals == 10

@@ -1,0 +1,165 @@
+"""Tests for TCP data transfer and teardown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tcp.states import TcpState
+
+
+def establish(host_pair, sim, on_server_data=None, backlog=None):
+    """Open a connection; returns (client_conn, server_conn)."""
+    server_conns = []
+
+    def on_accept(conn):
+        server_conns.append(conn)
+        if on_server_data is not None:
+            conn.on_data = on_server_data
+
+    host_pair.stack_b.listen(80, backlog=backlog, on_accept=on_accept)
+    client = host_pair.stack_a.connect("10.0.0.2", 80)
+    sim.run(until=0.5)
+    assert client.state is TcpState.ESTABLISHED
+    return client, server_conns[0]
+
+
+class TestDataTransfer:
+    def test_small_send_delivered(self, host_pair, sim):
+        got = []
+        client, _ = establish(host_pair, sim, on_server_data=lambda c, d: got.append(d))
+        client.send(b"hello")
+        sim.run(until=1.0)
+        assert got == [b"hello"]
+
+    def test_send_larger_than_mss_is_segmented(self, host_pair, sim):
+        got = []
+        client, _ = establish(host_pair, sim, on_server_data=lambda c, d: got.append(d))
+        data = b"A" * 4000  # mss 1460 -> 3 segments
+        client.send(data)
+        sim.run(until=2.0)
+        assert b"".join(got) == data
+        assert len(got) == 3
+
+    def test_bidirectional_transfer(self, host_pair, sim):
+        server_got, client_got = [], []
+
+        def server_data(conn, data):
+            server_got.append(data)
+            conn.send(b"pong")
+
+        client, _ = establish(host_pair, sim, on_server_data=server_data)
+        client.on_data = lambda c, d: client_got.append(d)
+        client.send(b"ping")
+        sim.run(until=1.0)
+        assert server_got == [b"ping"]
+        assert client_got == [b"pong"]
+
+    def test_bytes_counted(self, host_pair, sim):
+        client, server = establish(host_pair, sim, on_server_data=lambda c, d: None)
+        client.send(b"12345")
+        sim.run(until=1.0)
+        assert client.stats.bytes_sent == 5
+        assert server.stats.bytes_received == 5
+
+    def test_send_on_unopened_connection_rejected(self, host_pair, sim):
+        conn = host_pair.stack_a.create_connection(5000, "10.0.0.2", 80)
+        with pytest.raises(RuntimeError):
+            conn.send(b"x")
+
+    def test_queued_sends_are_ordered(self, host_pair, sim):
+        got = []
+        client, _ = establish(host_pair, sim, on_server_data=lambda c, d: got.append(d))
+        client.send(b"first")
+        client.send(b"second")
+        sim.run(until=1.0)
+        assert got == [b"first", b"second"]
+
+
+class TestTeardown:
+    def test_full_close_sequence(self, host_pair, sim):
+        def server_data(conn, data):
+            if not data:
+                conn.close()  # respond to EOF
+
+        client, server = establish(host_pair, sim, on_server_data=server_data)
+        client.close()
+        sim.run(until=10.0)
+        assert client.state is TcpState.CLOSED
+        assert server.state is TcpState.CLOSED
+
+    def test_half_close_states(self, host_pair, sim):
+        client, server = establish(host_pair, sim, on_server_data=lambda c, d: None)
+        client.close()
+        sim.run(until=1.0)
+        assert client.state is TcpState.FIN_WAIT_2
+        assert server.state is TcpState.CLOSE_WAIT
+
+    def test_connections_removed_from_stack_after_close(self, host_pair, sim):
+        def server_data(conn, data):
+            if not data:
+                conn.close()
+
+        client, _ = establish(host_pair, sim, on_server_data=server_data)
+        client.close()
+        sim.run(until=10.0)
+        assert client.key not in host_pair.stack_a.connections
+        assert len(host_pair.stack_b.connections) == 0
+
+    def test_close_during_handshake_is_quiet(self, host_pair, sim):
+        host_pair.a.arp_table["10.0.0.88"] = "00:00:00:00:00:88"
+        conn = host_pair.stack_a.connect("10.0.0.88", 80)
+        conn.close()
+        assert conn.state is TcpState.CLOSED
+
+    def test_data_after_remote_close_wait_still_flows(self, host_pair, sim):
+        """Server in CLOSE_WAIT can still send (half-close semantics)."""
+        client_got = []
+
+        def server_data(conn, data):
+            if not data:
+                conn.send(b"parting-gift")
+
+        client, server = establish(host_pair, sim, on_server_data=server_data)
+        client.on_data = lambda c, d: client_got.append(d)
+        client.close()
+        sim.run(until=2.0)
+        assert client_got == [b"parting-gift"]
+
+
+class TestRetransmission:
+    def test_lost_data_segment_is_retransmitted(self, sim, rng):
+        from tests.conftest import HostPair
+
+        # Tiny queue at high load forces data loss.
+        pair = HostPair(sim, rng, bandwidth_bps=1e9, queue_packets=100)
+        got = []
+        client, _ = establish_with(pair, sim, got)
+        # Drop the next data segment artificially: monkeypatch the link
+        # by consuming one send.
+        original_send = pair.a.port.send
+        dropped = {"done": False}
+
+        def lossy_send(packet):
+            if packet.tcp is not None and packet.payload and not dropped["done"]:
+                dropped["done"] = True
+                return False  # swallowed by the wire
+            return original_send(packet)
+
+        pair.a.port.send = lossy_send
+        client.send(b"important")
+        sim.run(until=10.0)
+        assert got == [b"important"]
+        assert client.stats.data_retransmits >= 1
+
+
+def establish_with(pair, sim, sink):
+    server_conns = []
+
+    def on_accept(conn):
+        server_conns.append(conn)
+        conn.on_data = lambda c, d: sink.append(d) if d else None
+
+    pair.stack_b.listen(80, on_accept=on_accept)
+    client = pair.stack_a.connect("10.0.0.2", 80)
+    sim.run(until=0.5)
+    return client, server_conns[0]
