@@ -97,3 +97,94 @@ def test_small_scenario_end_to_end(benchmark):
     )
     result = benchmark.pedantic(run_scenario, args=(config,), rounds=3, iterations=1)
     assert result.spi.stats.confirmed == 1
+
+
+def _populated_table(**kwargs) -> FlowTable:
+    table = FlowTable(**kwargs)
+    for i in range(100):
+        table.install(
+            FlowEntry(match=Match(ip_dst=f"10.1.{i // 250}.{i % 250 + 1}"),
+                      actions=(Output(1),), priority=100),
+            now=0.0,
+        )
+    table.install(
+        FlowEntry(match=Match(ip_dst="10.0.0.2"), actions=(Output(1),), priority=50),
+        now=0.0,
+    )
+    return table
+
+
+def test_flow_table_repeated_lookup_cache_hit(benchmark):
+    """The fast path: identical flow, microflow exact-match hit every time."""
+    table = _populated_table()
+    packet = _packet()
+    table.lookup(packet, 1, 0.0)  # warm the cache
+    result = benchmark(table.lookup, packet, 1, 0.0)
+    assert result is not None
+    assert table.microflow_hits > 0
+
+
+def test_flow_table_repeated_lookup_cache_disabled(benchmark):
+    """Baseline: the same repeated lookup forced down the linear scan."""
+    table = _populated_table(microflow_enabled=False)
+    packet = _packet()
+    result = benchmark(table.lookup, packet, 1, 0.0)
+    assert result is not None
+    assert table.microflow_hits == 0
+
+
+def test_flow_table_lookup_cache_miss_cold(benchmark):
+    """Every lookup sees a fresh flow: cache probe + scan + insert."""
+    table = _populated_table()
+    packets = [
+        Packet.tcp_packet(
+            "00:00:00:00:00:01", "00:00:00:00:00:02", "10.0.0.1", "10.0.0.2",
+            TcpHeader(1024 + i, 80, flags=TCP_SYN),
+        )
+        for i in range(4096)
+    ]
+    state = {"i": 0}
+
+    def cold_lookup():
+        i = state["i"]
+        state["i"] = (i + 1) % len(packets)
+        table._microflow.clear()
+        return table.lookup(packets[i], 1, 0.0)
+
+    assert benchmark(cold_lookup) is not None
+
+
+def test_flow_table_lookup_post_invalidation(benchmark):
+    """install() flushes the cache; the next lookup repopulates it."""
+    table = _populated_table()
+    packet = _packet()
+    churn = FlowEntry(
+        match=Match(ip_dst="10.9.9.9"), actions=(Output(1),), priority=10
+    )
+
+    def invalidate_then_lookup():
+        table.install(churn, now=0.0)
+        return table.lookup(packet, 1, 0.0)
+
+    assert benchmark(invalidate_then_lookup) is not None
+
+
+def test_packet_repeat_to_bytes_memo(benchmark):
+    """Serializing the same unmodified packet again returns the memo."""
+    packet = _packet()
+    packet.to_bytes()  # populate
+    raw = benchmark(packet.to_bytes)
+    assert len(raw) == packet.size_bytes
+
+
+def test_packet_to_bytes_after_invalidation(benchmark):
+    """Mutating a header forces a genuine re-pack each round."""
+    packet = _packet()
+    header = packet.tcp
+
+    def mutate_and_pack():
+        packet.tcp = header  # assignment drops the memo
+        return packet.to_bytes()
+
+    raw = benchmark(mutate_and_pack)
+    assert len(raw) == packet.size_bytes

@@ -1,0 +1,114 @@
+"""Compare two pytest-benchmark JSON runs and flag regressions.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_substrate.py \
+        --benchmark-json=before.json
+    ... make changes ...
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_substrate.py \
+        --benchmark-json=after.json
+    python benchmarks/compare_micro.py before.json after.json
+
+Benchmarks present in both files are compared on their median (medians
+are far more stable than means under CI noise).  Any benchmark whose
+median slowed down by more than ``--threshold`` (default 10%) is listed
+as a regression and the script exits non-zero, so CI can gate on it.
+Stdlib only — no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path: str) -> dict[str, float]:
+    """Map benchmark name -> median seconds from a pytest-benchmark JSON."""
+    with open(path) as fh:
+        data = json.load(fh)
+    medians: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        medians[bench["name"]] = bench["stats"]["median"]
+    return medians
+
+
+def format_time(seconds: float) -> str:
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:8.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.1f} ms"
+    return f"{seconds:8.2f} s "
+
+
+def compare(before: dict[str, float], after: dict[str, float],
+            threshold: float) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression names)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    shared = sorted(set(before) & set(after))
+    if not shared:
+        # Disjoint runs means the caller compared the wrong files; a
+        # silent pass here would let CI wave a broken gate through.
+        lines.append("error: no common benchmarks between the two runs")
+        regressions.append("<no common benchmarks>")
+        return lines, regressions
+    width = max(len(name) for name in set(before) | set(after))
+    lines.append(
+        f"{'benchmark':<{width}}  {'before':>11}  {'after':>11}  {'change':>8}"
+    )
+    for name in shared:
+        old, new = before[name], after[name]
+        change = (new - old) / old if old > 0 else 0.0
+        marker = ""
+        if change > threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(name)
+        elif change < -threshold:
+            marker = "  (improved)"
+        lines.append(
+            f"{name:<{width}}  {format_time(old)}  {format_time(new)}"
+            f"  {change:+7.1%}{marker}"
+        )
+    for name in sorted(set(after) - set(before)):
+        lines.append(f"{name:<{width}}  {'-':>11}  {format_time(after[name])}  (new)")
+    for name in sorted(set(before) - set(after)):
+        lines.append(f"{name:<{width}}  {format_time(before[name])}  {'-':>11}  (removed)")
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two bench_micro_substrate pytest-benchmark JSON files"
+    )
+    parser.add_argument("before", help="baseline benchmark JSON")
+    parser.add_argument("after", help="candidate benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative median slowdown that counts as a regression "
+             "(default 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        before = load_medians(args.before)
+        after = load_medians(args.after)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    lines, regressions = compare(before, after, args.threshold)
+    print("\n".join(lines))
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,13 @@ separates :class:`AlwaysOnDpi` from :class:`SampledDpi`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.signatures import SignatureReport, SynFloodSignature, SynFloodSignatureConfig, Verdict
 from repro.inspection.tracker import HandshakeTracker
 from repro.mitigation.manager import MitigationManager
+from repro.net.flowkey import FlowKey
 from repro.net.headers import TCP_ACK, TCP_SYN
 from repro.net.packet import Packet
 from repro.sim.process import PeriodicTask
@@ -84,7 +85,7 @@ class TapDpiBase:
 
     # --------------------------------------------------------------- tap
 
-    def _tap(self, packet: Packet, in_port: int) -> None:
+    def _tap(self, packet: Packet, in_port: int, key: FlowKey) -> None:
         self.stats.packets_seen += 1
         if not self.inspecting_now():
             return
@@ -98,14 +99,14 @@ class TapDpiBase:
         flags = packet.tcp.flags
         if not (flags & TCP_SYN or flags & TCP_ACK):
             return
-        dst = packet.ip.dst_ip
+        dst = key.ip_dst
         tracker = self._trackers.get(dst)
         if tracker is None:
             if not (flags & TCP_SYN and not flags & TCP_ACK):
                 return  # only start tracking a destination on a fresh SYN
             tracker = HandshakeTracker(dst, self.switch.sim.now)
             self._trackers[dst] = tracker
-        tracker.observe(packet, self.switch.sim.now)
+        tracker.observe(packet, self.switch.sim.now, key=key)
 
     # --------------------------------------------------------- evaluation
 

@@ -21,7 +21,6 @@ from typing import Sequence
 from repro.harness.experiments import ALL_EXPERIMENTS
 from repro.harness.scenario import DEFENSES, TOPOLOGIES, ScenarioConfig, run_scenario
 from repro.metrics.report import Table
-from repro.monitor.detectors import make_detector
 from repro.workload.profiles import WorkloadConfig
 
 DETECTORS = ("static", "adaptive", "ewma", "cusum", "entropy", "udp-rate")
@@ -133,6 +132,8 @@ def _command_run(args: argparse.Namespace) -> int:
             attack_start + 5, config.duration_s
         ),
         "inspected_fraction": result.inspected_fraction(),
+        "microflow_hit_rate": result.flow_table_stats().microflow_hit_rate,
+        "buffer_evictions": result.buffer_evictions(),
     }
     if args.json:
         print(json.dumps(summary, indent=2))

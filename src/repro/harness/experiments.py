@@ -11,12 +11,10 @@ path.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Sequence
 
 from repro.core.budget import BudgetConfig
 from repro.core.config import SpiConfig
-from repro.core.signatures import SynFloodSignatureConfig
 from repro.harness.scenario import FlashCrowdSpec, ScenarioConfig, run_scenario
 from repro.harness.sweep import apply_overrides
 from repro.metrics.detection import classify_detections
@@ -160,6 +158,8 @@ def run_e3_workload(
             "inspected_fraction",
             "mirror_cpu_share",
             "switch_busy_ms",
+            "mf_hit_rate",
+            "buffer_evictions",
             "detected",
         ],
     )
@@ -174,12 +174,15 @@ def run_e3_workload(
                 },
             )
             result = run_scenario(config)
+            table_stats = result.flow_table_stats()
             table.add_row(
                 rate,
                 defense,
                 result.inspected_fraction(),
                 result.switch_inspection_share(),
                 result.switch_busy_seconds() * 1000,
+                table_stats.microflow_hit_rate,
+                result.buffer_evictions(),
                 len(result.detection_times()) > 0,
             )
     return table

@@ -20,7 +20,7 @@ from repro.baselines.threshold_only import MonitorOnlyDefense
 from repro.core.config import SpiConfig
 from repro.core.spi import SpiSystem
 from repro.metrics.detection import DetectionTimeline, extract_timeline
-from repro.mitigation.manager import MitigationConfig, MitigationManager, MitigationMode
+from repro.mitigation.manager import MitigationManager, MitigationMode
 from repro.monitor.detectors import make_detector
 from repro.topology import standard
 from repro.topology.builder import Network
@@ -179,6 +179,27 @@ class ScenarioResult:
     def switch_busy_seconds(self) -> float:
         """Total CPU busy time across all switches."""
         return sum(sw.workload.total_busy for sw in self.net.switches.values())
+
+    def buffer_evictions(self) -> int:
+        """Packet-in buffer evictions across all switches (E3 pressure)."""
+        return sum(
+            sw.counters.buffer_evictions for sw in self.net.switches.values()
+        )
+
+    def flow_table_stats(self) -> "TableStats":
+        """Aggregate flow-table lookup/microflow counters across switches."""
+        from repro.openflow.flowtable import TableStats
+
+        totals = [sw.table.stats() for sw in self.net.switches.values()]
+        return TableStats(
+            entry_count=sum(t.entry_count for t in totals),
+            lookups=sum(t.lookups for t in totals),
+            hits=sum(t.hits for t in totals),
+            misses=sum(t.misses for t in totals),
+            microflow_hits=sum(t.microflow_hits for t in totals),
+            microflow_misses=sum(t.microflow_misses for t in totals),
+            microflow_size=sum(t.microflow_size for t in totals),
+        )
 
 
 def _default_edge(net: Network, roles: Roles) -> str:

@@ -9,11 +9,12 @@ path, not object peeking — then routes TCP frames to the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.inspection.tracker import HandshakeEvidence, HandshakeTracker
 from repro.inspection.udp import UdpEvidence, UdpTracker
+from repro.net.flowkey import FlowKey
 from repro.net.headers import HeaderError
 from repro.net.host import Host
 from repro.net.packet import Packet, parse_packet
@@ -92,6 +93,9 @@ class DpiEngine:
         self.stats.frames_received += 1
         self.stats.bytes_received += frame.size_bytes
         try:
+            # ``to_bytes()`` is memoized on the frame: if the mirror or a
+            # pcap tap already serialized this hop, the DPI re-parse
+            # shares that serialization instead of re-packing.
             parsed = parse_packet(frame.to_bytes())
         except HeaderError:
             self.stats.parse_errors += 1
@@ -101,13 +105,16 @@ class DpiEngine:
             observer(parsed)
         if parsed.ip is None:
             return
+        # One key extraction for both trackers (the DPI-side twin of the
+        # switch's single ingress extraction).
+        key = FlowKey.from_packet(parsed)
         if parsed.tcp is not None:
-            tracker = self._trackers.get(parsed.ip.dst_ip)
+            tracker = self._trackers.get(key.ip_dst)
             if tracker is not None:
                 self.stats.frames_tracked += 1
-                tracker.observe(parsed, self.host.sim.now)
+                tracker.observe(parsed, self.host.sim.now, key=key)
         elif parsed.udp is not None:
-            udp_tracker = self._udp_trackers.get(parsed.ip.dst_ip)
+            udp_tracker = self._udp_trackers.get(key.ip_dst)
             if udp_tracker is not None:
                 self.stats.frames_tracked += 1
-                udp_tracker.observe(parsed, self.host.sim.now)
+                udp_tracker.observe(parsed, self.host.sim.now, key=key)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.net.flowkey import FlowKey
 from repro.net.headers import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
 from repro.net.packet import Packet
 from repro.monitor.window import EntropyAccumulator, TumblingAccumulator
@@ -78,18 +79,25 @@ class FeatureExtractor:
         self._dst_udp = TumblingAccumulator()
         self._window_start = 0.0
 
-    def observe(self, packet: Packet) -> None:
-        """Feed one sampled packet (header inspection only)."""
+    def observe(self, packet: Packet, key: FlowKey | None = None) -> None:
+        """Feed one sampled packet (header inspection only).
+
+        ``key`` is the ingress :class:`FlowKey` when the caller (the
+        monitor's switch tap) already has it; addresses are then read
+        from the shared key instead of re-derived from the headers.
+        """
         self._counts.add("total")
         if packet.ip is None:
             return
+        src_ip = key.ip_src if key is not None else packet.ip.src_ip
+        dst_ip = key.ip_dst if key is not None else packet.ip.dst_ip
         if packet.tcp is not None:
             self._counts.add("tcp")
             flags = packet.tcp.flags
             if flags & TCP_SYN and not flags & TCP_ACK:
                 self._counts.add("syn")
-                self._sources.add(packet.ip.src_ip)
-                self._dst_syns.add(packet.ip.dst_ip)
+                self._sources.add(src_ip)
+                self._dst_syns.add(dst_ip)
             elif flags & TCP_SYN and flags & TCP_ACK:
                 self._counts.add("synack")
             elif flags & TCP_ACK:
@@ -100,8 +108,8 @@ class FeatureExtractor:
                 self._counts.add("fin")
         elif packet.udp is not None:
             self._counts.add("udp")
-            self._sources.add(packet.ip.src_ip)
-            self._dst_udp.add(packet.ip.dst_ip)
+            self._sources.add(src_ip)
+            self._dst_udp.add(dst_ip)
 
     def close_window(self, now: float) -> WindowFeatures:
         """Summarize and reset for the next window."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.monitor.alerts import Alert, AlertBus
 from repro.monitor.detectors import AnomalyDetector
 from repro.monitor.features import FeatureExtractor, WindowFeatures
+from repro.net.flowkey import FlowKey
 from repro.net.packet import Packet
 from repro.sim.process import PeriodicTask
 from repro.sim.rng import SeededRng
@@ -70,14 +71,14 @@ class TrafficMonitor:
 
     # ----------------------------------------------------------- sampling
 
-    def _tap(self, packet: Packet, in_port: int) -> None:
+    def _tap(self, packet: Packet, in_port: int, key: FlowKey) -> None:
         self.packets_seen += 1
         if (
             self.config.sampling_probability >= 1.0
             or self.rng.random() < self.config.sampling_probability
         ):
             self.packets_sampled += 1
-            self.extractor.observe(packet)
+            self.extractor.observe(packet, key)
 
     # ----------------------------------------------------------- windows
 

@@ -34,6 +34,7 @@ from repro.net.headers import (
     UdpHeader,
     internet_checksum,
 )
+from repro.net.flowkey import FlowKey
 from repro.net.packet import Packet, parse_packet
 from repro.net.link import Link, LinkEnd, LinkStats
 from repro.net.node import Interface, Node
@@ -67,6 +68,7 @@ __all__ = [
     "TcpHeader",
     "UdpHeader",
     "internet_checksum",
+    "FlowKey",
     "Packet",
     "parse_packet",
     "Link",

@@ -8,6 +8,8 @@ integer / byte forms the wire codecs need.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
 
 
@@ -47,8 +49,11 @@ def validate_ip(ip: str) -> str:
     return ip
 
 
+@lru_cache(maxsize=65536)
 def ip_to_int(ip: str) -> int:
-    """Convert dotted-quad to a 32-bit integer."""
+    """Convert dotted-quad to a 32-bit integer (memoized: the address
+    population of a scenario is bounded, and hot paths convert the same
+    strings millions of times)."""
     total = 0
     parts = ip.split(".")
     if len(parts) != 4:

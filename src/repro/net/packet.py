@@ -9,7 +9,8 @@ to prove the bytes genuinely round-trip.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+import struct
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.net.headers import (
@@ -27,10 +28,21 @@ from repro.net.headers import (
 
 _packet_ids = itertools.count(1)
 
+# Fields whose mutation changes the wire image / flow identity; assigning
+# any of them drops the serialization and flow-key memos.
+_WIRE_FIELDS = frozenset({"eth", "ip", "tcp", "udp", "icmp", "payload"})
 
-@dataclass
+
+@dataclass(init=False)
 class Packet:
-    """A frame in flight: Ethernet + optional IPv4 + optional L4 header."""
+    """A frame in flight: Ethernet + optional IPv4 + optional L4 header.
+
+    The frame memoizes its wire serialization and 5-tuple flow key; both
+    memos are dropped automatically when a header or the payload is
+    reassigned (e.g. the TTL decrement in :meth:`forwarded`), so mirror
+    copies, pcap export and the DPI re-parse share one serialization
+    without ever observing stale bytes.
+    """
 
     eth: EthernetHeader
     ip: Optional[IPv4Header] = None
@@ -40,6 +52,44 @@ class Packet:
     payload: bytes = b""
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     created_at: float = 0.0
+    _wire: Optional[bytes] = field(default=None, repr=False, compare=False)
+    _fkey: Optional[tuple] = field(default=None, repr=False, compare=False)
+    # (in_port, FlowKey) pair memoized by FlowKey.from_packet.
+    _fkobj: Optional[tuple] = field(default=None, repr=False, compare=False)
+
+    # Hand-written so construction writes slots directly: routing every
+    # dataclass-generated assignment through the memo-invalidating
+    # __setattr__ below costs ~2x on the per-packet hot path.
+    def __init__(
+        self,
+        eth: EthernetHeader,
+        ip: Optional[IPv4Header] = None,
+        tcp: Optional[TcpHeader] = None,
+        udp: Optional[UdpHeader] = None,
+        icmp: Optional[IcmpHeader] = None,
+        payload: bytes = b"",
+        packet_id: Optional[int] = None,
+        created_at: float = 0.0,
+    ) -> None:
+        set_ = object.__setattr__
+        set_(self, "eth", eth)
+        set_(self, "ip", ip)
+        set_(self, "tcp", tcp)
+        set_(self, "udp", udp)
+        set_(self, "icmp", icmp)
+        set_(self, "payload", payload)
+        set_(self, "packet_id", next(_packet_ids) if packet_id is None else packet_id)
+        set_(self, "created_at", created_at)
+        set_(self, "_wire", None)
+        set_(self, "_fkey", None)
+        set_(self, "_fkobj", None)
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name in _WIRE_FIELDS:
+            object.__setattr__(self, "_wire", None)
+            object.__setattr__(self, "_fkey", None)
+            object.__setattr__(self, "_fkobj", None)
 
     @classmethod
     def tcp_packet(
@@ -132,27 +182,43 @@ class Packet:
 
     def flow_key(self) -> tuple:
         """5-tuple identifying the flow (for counters and DPI tables)."""
+        cached = self._fkey
+        if cached is not None:
+            return cached
         if self.tcp is not None and self.ip is not None:
-            return (self.ip.src_ip, self.tcp.src_port, self.ip.dst_ip,
-                    self.tcp.dst_port, PROTO_TCP)
-        if self.udp is not None and self.ip is not None:
-            return (self.ip.src_ip, self.udp.src_port, self.ip.dst_ip,
-                    self.udp.dst_port, PROTO_UDP)
-        if self.ip is not None:
-            return (self.ip.src_ip, 0, self.ip.dst_ip, 0, self.ip.protocol)
-        return (self.eth.src_mac, 0, self.eth.dst_mac, 0, -1)
+            key = (self.ip.src_ip, self.tcp.src_port, self.ip.dst_ip,
+                   self.tcp.dst_port, PROTO_TCP)
+        elif self.udp is not None and self.ip is not None:
+            key = (self.ip.src_ip, self.udp.src_port, self.ip.dst_ip,
+                   self.udp.dst_port, PROTO_UDP)
+        elif self.ip is not None:
+            key = (self.ip.src_ip, 0, self.ip.dst_ip, 0, self.ip.protocol)
+        else:
+            key = (self.eth.src_mac, 0, self.eth.dst_mac, 0, -1)
+        object.__setattr__(self, "_fkey", key)
+        return key
 
     def copy(self) -> "Packet":
-        """Shallow per-header copy with a fresh packet id (for mirroring)."""
-        return Packet(
-            eth=self.eth,
-            ip=self.ip,
-            tcp=self.tcp,
-            udp=self.udp,
-            icmp=self.icmp,
-            payload=self.payload,
-            created_at=self.created_at,
-        )
+        """Shallow per-header copy with a fresh packet id (for mirroring).
+
+        Headers and payload are immutable, so the copy inherits the
+        serialization memo: mirroring then exporting/inspecting a frame
+        packs its bytes once, not once per consumer.
+        """
+        clone = Packet.__new__(Packet)
+        set_ = object.__setattr__
+        set_(clone, "eth", self.eth)
+        set_(clone, "ip", self.ip)
+        set_(clone, "tcp", self.tcp)
+        set_(clone, "udp", self.udp)
+        set_(clone, "icmp", self.icmp)
+        set_(clone, "payload", self.payload)
+        set_(clone, "packet_id", next(_packet_ids))
+        set_(clone, "created_at", self.created_at)
+        set_(clone, "_wire", self._wire)
+        set_(clone, "_fkey", self._fkey)
+        set_(clone, "_fkobj", self._fkobj)
+        return clone
 
     def forwarded(self) -> "Packet":
         """Copy with TTL decremented, as an L3 hop would produce."""
@@ -163,7 +229,16 @@ class Packet:
         return clone
 
     def to_bytes(self) -> bytes:
-        """Serialize the whole frame to wire format."""
+        """Serialize the whole frame to wire format (memoized).
+
+        The packed frame is cached until a header or the payload is
+        reassigned; ``forwarded()`` replaces the IPv4 header, so each hop
+        re-packs, but mirror/pcap/DPI touches of the *same* hop share
+        one serialization.
+        """
+        cached = self._wire
+        if cached is not None:
+            return cached
         parts = [self.eth.pack()]
         if self.ip is not None:
             parts.append(self.ip.pack())
@@ -177,7 +252,9 @@ class Packet:
                 parts.append(self.payload)
         else:
             parts.append(self.payload)
-        return b"".join(parts)
+        raw = b"".join(parts)
+        object.__setattr__(self, "_wire", raw)
+        return raw
 
     def describe(self) -> str:
         """One-line human-readable summary for traces."""
@@ -207,18 +284,45 @@ def parse_packet(raw: bytes, verify: bool = True) -> Packet:
     ip, l4 = IPv4Header.unpack(rest)
     packet.ip = ip
     l4 = l4[: max(0, ip.total_length - IPv4Header.LENGTH)] if ip.total_length else l4
-    if ip.protocol == PROTO_TCP:
-        tcp, payload = TcpHeader.unpack(l4, ip.src_ip, ip.dst_ip, verify=verify)
-        packet.tcp = tcp
-        packet.payload = payload
-    elif ip.protocol == PROTO_UDP:
-        udp, payload = UdpHeader.unpack(l4, ip.src_ip, ip.dst_ip, verify=verify)
-        packet.udp = udp
-        packet.payload = payload
-    elif ip.protocol == PROTO_ICMP:
-        icmp, payload = IcmpHeader.unpack(l4, verify=verify)
-        packet.icmp = icmp
-        packet.payload = payload
-    else:
-        packet.payload = l4
+    _check_l4_length(ip.protocol, l4)
+    try:
+        if ip.protocol == PROTO_TCP:
+            tcp, payload = TcpHeader.unpack(l4, ip.src_ip, ip.dst_ip, verify=verify)
+            packet.tcp = tcp
+            packet.payload = payload
+        elif ip.protocol == PROTO_UDP:
+            udp, payload = UdpHeader.unpack(l4, ip.src_ip, ip.dst_ip, verify=verify)
+            packet.udp = udp
+            packet.payload = payload
+        elif ip.protocol == PROTO_ICMP:
+            icmp, payload = IcmpHeader.unpack(l4, verify=verify)
+            packet.icmp = icmp
+            packet.payload = payload
+        else:
+            packet.payload = l4
+    except HeaderError:
+        raise
+    except (struct.error, IndexError, ValueError) as exc:
+        # Mirrored frames can arrive mangled in arbitrary ways; the DPI
+        # engine must see a HeaderError, never a codec-internal error.
+        raise HeaderError(f"malformed L4 bytes (proto={ip.protocol}): {exc}") from exc
     return packet
+
+
+_L4_HEADER_LENGTHS = {
+    PROTO_TCP: ("TCP", TcpHeader.LENGTH),
+    PROTO_UDP: ("UDP", UdpHeader.LENGTH),
+    PROTO_ICMP: ("ICMP", IcmpHeader.LENGTH),
+}
+
+
+def _check_l4_length(protocol: int, l4: bytes) -> None:
+    """Reject truncated L4 bytes with a clear, uniform HeaderError."""
+    spec = _L4_HEADER_LENGTHS.get(protocol)
+    if spec is None:
+        return
+    name, length = spec
+    if len(l4) < length:
+        raise HeaderError(
+            f"truncated {name} segment: {len(l4)} bytes < {length}-byte header"
+        )

@@ -9,7 +9,6 @@ format (magic 0xa1b2c3d4, microsecond timestamps, LINKTYPE_ETHERNET).
 
 from __future__ import annotations
 
-import io
 import struct
 from typing import BinaryIO
 
@@ -94,7 +93,7 @@ class PcapTap:
     def on_switch(cls, switch, path: str, snaplen: int = 65535) -> "PcapTap":
         """Create a file-backed capture of every packet entering ``switch``."""
         tap = cls(PcapWriter.to_file(path, snaplen=snaplen), lambda: switch.sim.now)
-        switch.attach_tap(lambda packet, in_port: tap._capture(packet))
+        switch.attach_tap(lambda packet, in_port, key: tap._capture(packet))
         return tap
 
     def _capture(self, packet: Packet) -> None:

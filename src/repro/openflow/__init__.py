@@ -17,7 +17,7 @@ from repro.openflow.actions import (
     RateLimit,
     ToController,
 )
-from repro.openflow.flowtable import FlowEntry, FlowTable, RemovedReason
+from repro.openflow.flowtable import FlowEntry, FlowTable, RemovedReason, TableStats
 from repro.openflow.messages import (
     BarrierReply,
     BarrierRequest,
@@ -49,6 +49,7 @@ __all__ = [
     "FlowEntry",
     "FlowTable",
     "RemovedReason",
+    "TableStats",
     "Message",
     "PacketIn",
     "PacketInReason",

@@ -1,22 +1,36 @@
-"""The prioritized flow table with counters and timeouts.
+"""The prioritized flow table with counters, timeouts and a microflow cache.
 
 Lookup semantics follow OpenFlow 1.0 / Open vSwitch: highest priority
 wins; among equal priorities the earliest-installed entry wins; every hit
 updates packet/byte counters and the idle-timeout clock.
+
+Like Open vSwitch's datapath, an exact-match **microflow cache**
+(:class:`FlowKey` → winning entry, bounded LRU) sits in front of the
+linear classifier scan.  Repeated packets of the same flow resolve in
+one dict probe; any table mutation (install, delete, expiry) invalidates
+the cache wholesale so a cached verdict can never diverge from what the
+classifier would return.  Negative results are cached too — a table-miss
+flood (the packet-in storm of a DoS attack) is exactly the repeated-key
+workload the cache exists for.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
+from repro.net.flowkey import FlowKey
 from repro.net.packet import Packet
 from repro.openflow.actions import Action
 from repro.openflow.match import Match
 
 _entry_ids = itertools.count(1)
+
+#: Sentinel distinguishing "cached miss" from "not cached".
+_MISS = object()
 
 
 class RemovedReason(enum.Enum):
@@ -64,15 +78,50 @@ class FlowEntry:
         return f"prio={self.priority} {self.match.describe()} -> {acts}"
 
 
-class FlowTable:
-    """A single OpenFlow table."""
+@dataclass(frozen=True)
+class TableStats:
+    """Lookup and microflow-cache effectiveness counters (one snapshot)."""
 
-    def __init__(self, max_entries: int = 10000) -> None:
+    entry_count: int
+    lookups: int
+    hits: int
+    misses: int
+    microflow_hits: int
+    microflow_misses: int
+    microflow_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Classifier hit fraction over all lookups."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def microflow_hit_rate(self) -> float:
+        """Fraction of lookups served by the exact-match cache."""
+        return self.microflow_hits / self.lookups if self.lookups else 0.0
+
+
+class FlowTable:
+    """A single OpenFlow table with an exact-match microflow cache."""
+
+    def __init__(
+        self,
+        max_entries: int = 10000,
+        microflow_capacity: int = 4096,
+        microflow_enabled: bool = True,
+    ) -> None:
         self._entries: list[FlowEntry] = []
         self._max_entries = max_entries
         self.lookups = 0
         self.hits = 0
         self.misses = 0
+        self.microflow_hits = 0
+        self.microflow_misses = 0
+        self._microflow_enabled = microflow_enabled and microflow_capacity > 0
+        self._microflow_capacity = microflow_capacity
+        # FlowKey -> FlowEntry (positive) or _MISS (cached table miss),
+        # ordered oldest-touched first for LRU eviction.
+        self._microflow: OrderedDict[FlowKey, object] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -85,10 +134,33 @@ class FlowTable:
         """True when no more entries can be installed."""
         return len(self._entries) >= self._max_entries
 
+    @property
+    def microflow_size(self) -> int:
+        """Entries currently cached."""
+        return len(self._microflow)
+
+    def stats(self) -> TableStats:
+        """Snapshot of lookup/cache counters for stats replies and reports."""
+        return TableStats(
+            entry_count=len(self._entries),
+            lookups=self.lookups,
+            hits=self.hits,
+            misses=self.misses,
+            microflow_hits=self.microflow_hits,
+            microflow_misses=self.microflow_misses,
+            microflow_size=len(self._microflow),
+        )
+
+    def _invalidate_microflow(self) -> None:
+        """Drop every cached verdict; called on any table mutation."""
+        if self._microflow:
+            self._microflow.clear()
+
     def install(self, entry: FlowEntry, now: float) -> FlowEntry:
         """Add an entry, replacing any with identical match+priority."""
         entry.installed_at = now
         entry.last_hit_at = now
+        self._invalidate_microflow()
         for i, existing in enumerate(self._entries):
             if existing.match == entry.match and existing.priority == entry.priority:
                 self._entries[i] = entry
@@ -100,15 +172,52 @@ class FlowTable:
         self._entries.sort(key=lambda e: -e.priority)
         return entry
 
-    def lookup(self, packet: Packet, in_port: int, now: float) -> Optional[FlowEntry]:
-        """Highest-priority matching entry, updating counters."""
+    def lookup(
+        self,
+        packet: Packet,
+        in_port: int,
+        now: float,
+        key: Optional[FlowKey] = None,
+    ) -> Optional[FlowEntry]:
+        """Highest-priority matching entry, updating counters.
+
+        ``key`` is the ingress :class:`FlowKey` if the caller already
+        extracted it (the switch datapath does); when omitted it is
+        derived here, so the classic ``lookup(packet, port, now)``
+        signature keeps working.
+        """
         self.lookups += 1
-        for entry in self._entries:
-            if entry.match.matches(packet, in_port):
-                entry.hit(packet, now)
+        if key is None:
+            key = FlowKey.from_packet(packet, in_port)
+        if self._microflow_enabled:
+            cached = self._microflow.get(key, None)
+            if cached is not None:
+                self._microflow.move_to_end(key)
+                self.microflow_hits += 1
+                if cached is _MISS:
+                    self.misses += 1
+                    return None
+                cached.hit(packet, now)
                 self.hits += 1
+                return cached
+            self.microflow_misses += 1
+        entry = self._classify(key)
+        if self._microflow_enabled:
+            self._microflow[key] = entry if entry is not None else _MISS
+            if len(self._microflow) > self._microflow_capacity:
+                self._microflow.popitem(last=False)
+        if entry is None:
+            self.misses += 1
+            return None
+        entry.hit(packet, now)
+        self.hits += 1
+        return entry
+
+    def _classify(self, key: FlowKey) -> Optional[FlowEntry]:
+        """The linear priority scan (entries sorted by priority, stable)."""
+        for entry in self._entries:
+            if entry.match.matches_key(key):
                 return entry
-        self.misses += 1
         return None
 
     def remove_where(self, predicate: Callable[[FlowEntry], bool]) -> list[FlowEntry]:
@@ -117,6 +226,7 @@ class FlowTable:
         if removed:
             gone = {e.entry_id for e in removed}
             self._entries = [e for e in self._entries if e.entry_id not in gone]
+            self._invalidate_microflow()
         return removed
 
     def remove_matching(self, filter_match: Match, cookie: Optional[int] = None
@@ -140,6 +250,7 @@ class FlowTable:
                 expired.append((entry, reason))
         if expired:
             self._entries = survivors
+            self._invalidate_microflow()
         return expired
 
     def entries_with_cookie(self, cookie: int) -> list[FlowEntry]:

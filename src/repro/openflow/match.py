@@ -3,6 +3,11 @@
 ``None`` in a field means wildcard.  IP fields accept either an exact
 address (``"10.0.0.5"``) or a CIDR prefix (``"10.0.0.0/24"``), which is
 how the SPI coordinator scopes a mirror rule to a victim aggregate.
+
+IP constraints are compiled to (network-int, mask) pairs once at
+``Match`` construction; the per-packet check is then two integer ANDs
+against the :class:`~repro.net.flowkey.FlowKey` the switch extracted at
+ingress, never a string parse.
 """
 
 from __future__ import annotations
@@ -10,8 +15,23 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Optional
 
-from repro.net.addresses import ip_in_subnet
+from repro.net.addresses import ip_in_subnet, ip_to_int
+from repro.net.flowkey import FlowKey
 from repro.net.packet import Packet
+
+# Field names the dataclass machinery reports for specificity/subsumes;
+# compiled prefix attributes are deliberately not dataclass fields.
+_IP_FIELDS = ("ip_src", "ip_dst")
+
+
+def _compile_prefix(field_value: str) -> tuple[int, int]:
+    """Parse ``"a.b.c.d"`` or ``"a.b.c.d/len"`` to (network, mask) ints."""
+    network, _, prefix_str = field_value.partition("/")
+    prefix = int(prefix_str) if prefix_str else 32
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"bad prefix length in {field_value!r}")
+    mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF if prefix else 0
+    return ip_to_int(network) & mask, mask
 
 
 @dataclass(frozen=True)
@@ -28,6 +48,15 @@ class Match:
     tp_src: Optional[int] = None
     tp_dst: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        # Precompile the IP constraints (frozen dataclass: go around the
+        # immutability guard).  A Match is built once and consulted per
+        # packet, so all string parsing happens here.
+        src = _compile_prefix(self.ip_src) if self.ip_src is not None else None
+        dst = _compile_prefix(self.ip_dst) if self.ip_dst is not None else None
+        object.__setattr__(self, "_src_prefix", src)
+        object.__setattr__(self, "_dst_prefix", dst)
+
     @classmethod
     def any(cls) -> "Match":
         """The all-wildcard match (table-miss rules)."""
@@ -37,34 +66,44 @@ class Match:
         """Number of constrained fields; used for human-readable dumps."""
         return sum(1 for f in fields(self) if getattr(self, f.name) is not None)
 
-    def matches(self, packet: Packet, in_port: int) -> bool:
-        """True if ``packet`` arriving on ``in_port`` satisfies the match."""
-        if self.in_port is not None and in_port != self.in_port:
+    def matches_key(self, key: FlowKey) -> bool:
+        """True if the flow identified by ``key`` satisfies the match.
+
+        This is the canonical matching path: the switch extracts one
+        :class:`FlowKey` per ingress packet and every rule in the linear
+        scan tests against it.
+        """
+        if self.in_port is not None and key.in_port != self.in_port:
             return False
-        if self.eth_src is not None and packet.eth.src_mac != self.eth_src:
+        if self.eth_src is not None and key.eth_src != self.eth_src:
             return False
-        if self.eth_dst is not None and packet.eth.dst_mac != self.eth_dst:
+        if self.eth_dst is not None and key.eth_dst != self.eth_dst:
             return False
-        if self.eth_type is not None and packet.eth.ethertype != self.eth_type:
+        if self.eth_type is not None and key.eth_type != self.eth_type:
             return False
-        if self.ip_src is not None or self.ip_dst is not None or self.ip_proto is not None:
-            if packet.ip is None:
+        src_prefix = self._src_prefix
+        dst_prefix = self._dst_prefix
+        if src_prefix is not None or dst_prefix is not None or self.ip_proto is not None:
+            if key.ip_src_int is None:
                 return False
-            if self.ip_src is not None and not _ip_field_matches(packet.ip.src_ip, self.ip_src):
+            if src_prefix is not None and key.ip_src_int & src_prefix[1] != src_prefix[0]:
                 return False
-            if self.ip_dst is not None and not _ip_field_matches(packet.ip.dst_ip, self.ip_dst):
+            if dst_prefix is not None and key.ip_dst_int & dst_prefix[1] != dst_prefix[0]:
                 return False
-            if self.ip_proto is not None and packet.ip.protocol != self.ip_proto:
+            if self.ip_proto is not None and key.ip_proto != self.ip_proto:
                 return False
         if self.tp_src is not None or self.tp_dst is not None:
-            sport, dport = _transport_ports(packet)
-            if sport is None:
+            if key.tp_src is None:
                 return False
-            if self.tp_src is not None and sport != self.tp_src:
+            if self.tp_src is not None and key.tp_src != self.tp_src:
                 return False
-            if self.tp_dst is not None and dport != self.tp_dst:
+            if self.tp_dst is not None and key.tp_dst != self.tp_dst:
                 return False
         return True
+
+    def matches(self, packet: Packet, in_port: int) -> bool:
+        """True if ``packet`` arriving on ``in_port`` satisfies the match."""
+        return self.matches_key(FlowKey.from_packet(packet, in_port))
 
     def subsumes(self, other: "Match") -> bool:
         """True if every packet matching ``other`` also matches ``self``.
@@ -78,7 +117,7 @@ class Match:
             theirs = getattr(other, f.name)
             if theirs is None:
                 return False
-            if f.name in ("ip_src", "ip_dst"):
+            if f.name in _IP_FIELDS:
                 if not _prefix_subsumes(mine, theirs):
                     return False
             elif mine != theirs:
@@ -95,12 +134,6 @@ class Match:
         return ",".join(parts) if parts else "*"
 
 
-def _ip_field_matches(address: str, field_value: str) -> bool:
-    if "/" in field_value:
-        return ip_in_subnet(address, field_value)
-    return address == field_value
-
-
 def _prefix_subsumes(mine: str, theirs: str) -> bool:
     """Does my (possibly CIDR) field cover their (possibly CIDR) field?"""
     mine_net, _, mine_len = mine.partition("/")
@@ -110,11 +143,3 @@ def _prefix_subsumes(mine: str, theirs: str) -> bool:
     if theirs_prefix < mine_prefix:
         return False
     return ip_in_subnet(theirs_net, f"{mine_net}/{mine_prefix}")
-
-
-def _transport_ports(packet: Packet) -> tuple[Optional[int], Optional[int]]:
-    if packet.tcp is not None:
-        return packet.tcp.src_port, packet.tcp.dst_port
-    if packet.udp is not None:
-        return packet.udp.src_port, packet.udp.dst_port
-    return None, None

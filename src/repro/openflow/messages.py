@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.net.packet import Packet
 from repro.openflow.actions import Action
-from repro.openflow.flowtable import FlowEntry, RemovedReason
+from repro.openflow.flowtable import FlowEntry, RemovedReason, TableStats
 from repro.openflow.match import Match
 
 _xids = itertools.count(1)
@@ -142,14 +142,23 @@ class FlowStatsEntry:
 
 @dataclass
 class FlowStatsReply(Message):
-    """Switch -> controller: flow counters."""
+    """Switch -> controller: flow counters.
+
+    Carries an OFPST_TABLE-style :class:`TableStats` snapshot alongside
+    the per-flow rows, so lookup and microflow-cache effectiveness reach
+    experiment reports through the same stats plumbing.
+    """
 
     datapath_id: int
     entries: list[FlowStatsEntry]
+    table_stats: Optional[TableStats] = None
     xid: int = 0
 
     def wire_size(self) -> int:
-        return self.HEADER_BYTES + 88 * len(self.entries)
+        # 24 bytes approximates the ofp_table_stats row when present.
+        return self.HEADER_BYTES + 88 * len(self.entries) + (
+            24 if self.table_stats is not None else 0
+        )
 
 
 @dataclass

@@ -15,9 +15,11 @@ forwarding.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.net.flowkey import FlowKey
 from repro.net.packet import Packet
 from repro.net.node import Interface, Node
 from repro.openflow.actions import (
@@ -56,7 +58,25 @@ from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicTask
 from repro.switch.workload import WorkloadCosts, WorkloadMeter
 
+# Taps receive (packet, in_port, flow_key); legacy two-argument taps are
+# adapted at attach time so the key extraction stays free for them.
 Tap = Callable[[Packet, int], None]
+FlowTap = Callable[[Packet, int, FlowKey], None]
+
+
+def _adapt_tap(tap: Callable) -> FlowTap:
+    """Wrap a legacy ``(packet, in_port)`` tap into the 3-argument form."""
+    try:
+        parameters = inspect.signature(tap).parameters
+    except (TypeError, ValueError):
+        return tap  # builtins etc.: assume the modern signature
+    positional = [
+        p for p in parameters.values()
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if any(p.kind is p.VAR_POSITIONAL for p in parameters.values()) or len(positional) >= 3:
+        return tap
+    return lambda packet, in_port, key: tap(packet, in_port)
 
 
 @dataclass
@@ -71,6 +91,7 @@ class SwitchCounters:
     packets_mirrored: int = 0
     bytes_mirrored: int = 0
     packets_punted: int = 0
+    buffer_evictions: int = 0
     flow_mods: int = 0
     flow_mod_failures: int = 0
     packet_outs: int = 0
@@ -97,7 +118,7 @@ class OpenFlowSwitch(Node):
         self._buffers: dict[int, tuple[Packet, int]] = {}
         self._buffer_slots = buffer_slots
         self._next_buffer_id = 1
-        self._taps: list[Tap] = []
+        self._taps: list[FlowTap] = []
         self._expiry = PeriodicTask(sim, expiry_period, self._expire_entries, "switch.expiry")
         self._expiry.start()
 
@@ -107,19 +128,31 @@ class OpenFlowSwitch(Node):
         """Attach the control channel (done by the topology builder)."""
         self.channel = channel
 
-    def attach_tap(self, tap: Tap) -> None:
-        """Register a passive per-ingress-packet observer (sFlow agent)."""
-        self._taps.append(tap)
+    def attach_tap(self, tap: Tap | FlowTap) -> None:
+        """Register a passive per-ingress-packet observer (sFlow agent).
+
+        Taps with a third parameter receive the ingress
+        :class:`FlowKey` extracted once by the datapath; two-argument
+        taps keep working unchanged.
+        """
+        self._taps.append(_adapt_tap(tap))
 
     # ---------------------------------------------------------- data path
 
     def on_packet(self, packet: Packet, ingress: Interface) -> None:
-        """Datapath entry: tap, look up, apply actions or punt."""
+        """Datapath entry: extract the flow key once, tap, look up, act.
+
+        The :class:`FlowKey` computed here is the single header
+        extraction of the fast path — taps, monitors, the flow-table
+        scan and the microflow cache all reuse it (OVS's
+        ``flow_extract()`` discipline).
+        """
         self.counters.packets_in += 1
+        key = FlowKey.from_packet(packet, ingress.port_no)
         for tap in self._taps:
-            tap(packet, ingress.port_no)
+            tap(packet, ingress.port_no, key)
         self.workload.charge_lookup(self.sim.now)
-        entry = self.table.lookup(packet, ingress.port_no, self.sim.now)
+        entry = self.table.lookup(packet, ingress.port_no, self.sim.now, key=key)
         if entry is None:
             self._punt(packet, ingress.port_no, PacketInReason.NO_MATCH)
             return
@@ -198,8 +231,11 @@ class OpenFlowSwitch(Node):
     def _buffer_packet(self, packet: Packet, in_port: int) -> int:
         if len(self._buffers) >= self._buffer_slots:
             # Evict the oldest buffer, as OVS recycles its buffer pool.
+            # The silently dropped packet is buffer pressure the E3
+            # workload report surfaces via this counter.
             oldest = min(self._buffers)
             del self._buffers[oldest]
+            self.counters.buffer_evictions += 1
         buffer_id = self._next_buffer_id
         self._next_buffer_id += 1
         self._buffers[buffer_id] = (packet, in_port)
@@ -300,7 +336,12 @@ class OpenFlowSwitch(Node):
             if request.filter_match.subsumes(e.match)
         ]
         self._reply(
-            FlowStatsReply(datapath_id=self.datapath_id, entries=entries, xid=request.xid)
+            FlowStatsReply(
+                datapath_id=self.datapath_id,
+                entries=entries,
+                table_stats=self.table.stats(),
+                xid=request.xid,
+            )
         )
 
     def _handle_port_stats(self, request: PortStatsRequest) -> None:

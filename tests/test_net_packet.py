@@ -131,3 +131,141 @@ class TestDescribe:
     def test_l2_describe(self):
         p = Packet(eth=EthernetHeader(MAC_A, MAC_B, 0x1234))
         assert "0x1234" in p.describe()
+
+
+class TestTruncatedFrames:
+    """Malformed mirrored frames must surface as HeaderError, never crash."""
+
+    def test_frame_cut_mid_tcp_header_raises_header_error(self):
+        from repro.net.headers import HeaderError
+
+        raw = tcp_packet(b"payload").to_bytes()
+        cut = raw[: 14 + 20 + 10]  # eth + ipv4 + half a TCP header
+        with pytest.raises(HeaderError, match="truncated TCP segment"):
+            parse_packet(cut)
+        with pytest.raises(HeaderError, match="truncated TCP segment"):
+            parse_packet(cut, verify=False)
+
+    def test_frame_cut_mid_udp_header_raises_header_error(self):
+        from repro.net.headers import HeaderError
+
+        p = Packet.udp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", UdpHeader(1, 2), b"x" * 8)
+        cut = p.to_bytes()[: 14 + 20 + 4]
+        with pytest.raises(HeaderError, match="truncated UDP segment"):
+            parse_packet(cut, verify=False)
+
+    @pytest.mark.parametrize("builder", ["tcp", "udp", "icmp"])
+    def test_every_truncation_offset_raises_header_error(self, builder):
+        from repro.net.headers import HeaderError
+
+        if builder == "tcp":
+            p = tcp_packet(b"x" * 9)
+        elif builder == "udp":
+            p = Packet.udp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", UdpHeader(1, 2), b"x" * 9)
+        else:
+            p = Packet.icmp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", IcmpHeader(8), b"x" * 9)
+        raw = p.to_bytes()
+        for cut in range(len(raw)):
+            for verify in (True, False):
+                try:
+                    parse_packet(raw[:cut], verify=verify)
+                except HeaderError:
+                    pass  # the only acceptable failure mode
+
+    def test_dpi_engine_counts_truncated_frame_as_parse_error(self, ):
+        # A frame whose payload claims more than is on the wire: the
+        # parse slices L4 to total_length and must reject it cleanly.
+        from dataclasses import replace as dc_replace
+
+        from repro.net.headers import HeaderError
+
+        p = tcp_packet(b"x" * 20)
+        p.ip = dc_replace(p.ip, total_length=p.ip.total_length)  # rebuild memo path
+        raw = p.to_bytes()[:40]
+        with pytest.raises(HeaderError):
+            parse_packet(raw, verify=False)
+
+
+class TestWireMemo:
+    """to_bytes() is cached and invalidated by header mutation."""
+
+    def test_repeat_serialization_is_identical_object(self):
+        p = tcp_packet(b"data")
+        first = p.to_bytes()
+        assert p.to_bytes() is first  # memo: same bytes object, no re-pack
+
+    def test_copy_shares_the_memo(self):
+        p = tcp_packet(b"data")
+        raw = p.to_bytes()
+        assert p.copy().to_bytes() is raw
+
+    def test_forwarded_invalidates_and_reflects_ttl(self):
+        p = tcp_packet(b"data")
+        before = p.to_bytes()
+        q = p.forwarded()
+        after = q.to_bytes()
+        assert after is not before
+        assert parse_packet(after).ip.ttl == 63
+        assert parse_packet(before).ip.ttl == 64
+
+    def test_header_mutation_invalidates(self):
+        p = tcp_packet(b"data")
+        stale = p.to_bytes()
+        p.tcp = TcpHeader(1234, 80, seq=2, flags=TCP_ACK)
+        fresh = p.to_bytes()
+        assert fresh != stale
+        assert parse_packet(fresh).tcp.ack_flag
+
+    def test_payload_mutation_invalidates(self):
+        p = tcp_packet(b"aaaa")
+        p.to_bytes()
+        p.payload = b"bbbb"
+        assert parse_packet(p.to_bytes()).payload == b"bbbb"
+
+    def test_flow_key_is_cached_and_invalidated(self):
+        p = tcp_packet()
+        key = p.flow_key()
+        assert p.flow_key() is key
+        p.tcp = TcpHeader(999, 80, flags=TCP_SYN)
+        assert p.flow_key()[1] == 999
+
+
+class TestFlowKeyExtraction:
+    def test_tcp_key_fields(self):
+        from repro.net.flowkey import FlowKey
+
+        key = FlowKey.from_packet(tcp_packet(), in_port=7)
+        assert key.in_port == 7
+        assert key.ip_src == "10.0.0.1" and key.ip_dst == "10.0.0.2"
+        assert key.tp_src == 1234 and key.tp_dst == 80
+        assert key.ip_proto == PROTO_TCP
+        assert key.ip_src_int == (10 << 24) + 1
+        assert key.five_tuple() == ("10.0.0.1", 1234, "10.0.0.2", 80, PROTO_TCP)
+        assert key.conn_key() == ("10.0.0.1", 1234, 80)
+
+    def test_l2_key_fields(self):
+        from repro.net.flowkey import FlowKey
+
+        p = Packet(eth=EthernetHeader(MAC_A, MAC_B, 0x0806), payload=b"arp")
+        key = FlowKey.from_packet(p, in_port=3)
+        assert key.ip_src is None and key.ip_src_int is None
+        assert key.five_tuple() == (MAC_A, 0, MAC_B, 0, -1)
+
+    def test_icmp_key_has_no_ports(self):
+        from repro.net.flowkey import FlowKey
+
+        p = Packet.icmp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", IcmpHeader(8))
+        key = FlowKey.from_packet(p, in_port=1)
+        assert key.tp_src is None and key.ip_proto == PROTO_ICMP
+        assert key.five_tuple() == ("10.0.0.1", 0, "10.0.0.2", 0, PROTO_ICMP)
+
+    def test_key_matches_legacy_packet_flow_key(self):
+        from repro.net.flowkey import FlowKey
+
+        for p in (
+            tcp_packet(),
+            Packet.udp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", UdpHeader(5, 6)),
+            Packet.icmp_packet(MAC_A, MAC_B, "10.0.0.1", "10.0.0.2", IcmpHeader(8)),
+            Packet(eth=EthernetHeader(MAC_A, MAC_B, 0x0806)),
+        ):
+            assert FlowKey.from_packet(p).five_tuple() == p.flow_key()

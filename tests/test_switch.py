@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.controller.base import Controller
 from repro.net.headers import TCP_SYN, TcpHeader
 from repro.net.host import Host
 from repro.net.link import Link
@@ -319,3 +318,79 @@ class TestTableFull:
         assert switch.counters.flow_mod_failures == 0
         assert len(switch.table) == 1
         switch.stop()
+
+
+class TestBufferEvictions:
+    def test_overflow_evicts_oldest_and_counts(self, sim):
+        switch = OpenFlowSwitch(sim, "s1", datapath_id=1)
+        host = Host(sim, "h1", "10.0.0.1", "00:00:00:00:00:01")
+        victim = Host(sim, "h2", "10.0.0.2", "00:00:00:00:00:02")
+        Link(sim, switch.add_interface(1), host.port)
+        Link(sim, switch.add_interface(2), victim.port)
+        switch._buffer_slots = 4
+        controller = FakeController()
+        channel = ControlChannel(sim, latency_s=0.001)
+        channel._switch = switch
+        channel._controller = controller
+        switch.connect_controller(channel)
+        for i in range(10):
+            host.send_packet(
+                Packet.tcp_packet(
+                    host.mac, victim.mac, host.ip, victim.ip,
+                    TcpHeader(1000 + i, 80, flags=TCP_SYN),
+                )
+            )
+        sim.run(until=1.0)
+        assert switch.counters.packets_punted == 10
+        assert switch.counters.buffer_evictions == 6
+        assert len(switch._buffers) == 4
+
+    def test_no_evictions_within_capacity(self, fabric, sim):
+        switch, hosts, controller = fabric
+        hosts[0].send_packet(syn(hosts[0], hosts[1]))
+        sim.run(until=1.0)
+        assert switch.counters.buffer_evictions == 0
+
+
+class TestTableStatsReporting:
+    def test_flow_stats_reply_carries_table_stats(self, fabric, sim):
+        switch, hosts, controller = fabric
+        from repro.openflow.flowtable import FlowEntry
+
+        switch.table.install(
+            FlowEntry(match=Match(ip_dst=hosts[1].ip), actions=(Output(2),), priority=10),
+            now=sim.now,
+        )
+        for _ in range(5):
+            hosts[0].send_packet(syn(hosts[0], hosts[1]))
+        sim.run(until=0.5)
+        switch.channel.to_switch(FlowStatsRequest(xid=7))
+        sim.run(until=1.0)
+        replies = controller.of_type(FlowStatsReply)
+        assert replies, "no FlowStatsReply received"
+        stats = replies[-1].table_stats
+        assert stats is not None
+        assert stats.entry_count == 1
+        assert stats.lookups == 5
+        assert stats.hits == 5
+        assert stats.misses == 0
+        # First packet misses the microflow cache (installed entry is new),
+        # the remaining four identical SYNs are exact-match hits.
+        assert stats.microflow_hits == 4
+        assert stats.microflow_misses == 1
+        assert 0.0 < stats.microflow_hit_rate <= 1.0
+        assert stats.hit_rate == 1.0
+
+    def test_tap_receives_flow_key(self, fabric, sim):
+        from repro.net.flowkey import FlowKey
+
+        switch, hosts, controller = fabric
+        seen = []
+        switch.attach_tap(lambda packet, in_port, key: seen.append((in_port, key)))
+        hosts[0].send_packet(syn(hosts[0], hosts[1]))
+        sim.run(until=1.0)
+        assert len(seen) == 1
+        in_port, key = seen[0]
+        assert isinstance(key, FlowKey)
+        assert key.in_port == in_port == 1
+        assert key.ip_src == hosts[0].ip and key.ip_dst == hosts[1].ip
