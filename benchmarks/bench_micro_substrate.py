@@ -83,6 +83,27 @@ def test_event_loop_throughput_10k_events(benchmark):
     assert benchmark(run_10k) == 10_000
 
 
+def test_event_loop_schedule_many_batched(benchmark):
+    """10k events scheduled in 100-entry batches, then drained.
+
+    Exercises the batched ``schedule_many`` path the links and periodic
+    traffic processes use, against the same total event count as the
+    one-at-a-time throughput case above.
+    """
+    def noop():
+        pass
+
+    def run_batched():
+        sim = Simulator()
+        for batch in range(100):
+            sim.schedule_many(
+                [(0.001 * (batch * 100 + i + 1), noop, "") for i in range(100)]
+            )
+        return sim.run()
+
+    assert benchmark(run_batched) > 0
+
+
 def test_small_scenario_end_to_end(benchmark):
     """A complete 8-second single-switch attack scenario."""
     from repro.harness.scenario import ScenarioConfig, run_scenario

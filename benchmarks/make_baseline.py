@@ -1,0 +1,84 @@
+"""Slim a pytest-benchmark JSON run into the committed M1 baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_micro_substrate.py \
+        --benchmark-json=/tmp/m1.json
+    python benchmarks/make_baseline.py /tmp/m1.json \
+        benchmarks/results/m1_baseline.json
+
+The committed baseline keeps only the event-loop and scenario cases —
+the millisecond-scale benchmarks whose medians are stable enough to gate
+on.  The nanosecond-scale cases (flow-table probes, packet pack/parse)
+jitter by tens of percent between runs on shared hardware, so gating on
+them would make CI flaky; they are still measured and uploaded as a
+workflow artifact on every build.  Raw per-round samples are dropped
+(``compare_micro.py`` reads only ``stats.median``), which keeps the
+committed file a few KB instead of tens of MB.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+BASELINE_CASES = (
+    "test_event_loop_throughput_10k_events",
+    "test_event_loop_schedule_many_batched",
+    "test_small_scenario_end_to_end",
+)
+STATS_KEYS = (
+    "min", "max", "mean", "stddev", "median", "iqr", "ops", "rounds", "iterations"
+)
+
+
+def slim(data: dict) -> dict:
+    machine = data.get("machine_info", {})
+    return {
+        "machine_info": {
+            key: machine[key]
+            for key in ("python_version", "system", "machine", "cpu")
+            if key in machine
+        },
+        "datetime": data.get("datetime"),
+        "benchmarks": [
+            {
+                "name": bench["name"],
+                "fullname": bench["fullname"],
+                "stats": {
+                    key: bench["stats"][key]
+                    for key in STATS_KEYS
+                    if key in bench["stats"]
+                },
+            }
+            for bench in data.get("benchmarks", [])
+            if bench["name"] in BASELINE_CASES
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="write the slim committed baseline from a full benchmark JSON"
+    )
+    parser.add_argument("source", help="full pytest-benchmark JSON run")
+    parser.add_argument("dest", help="where to write the slim baseline")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as fh:
+        data = json.load(fh)
+    baseline = slim(data)
+    missing = set(BASELINE_CASES) - {b["name"] for b in baseline["benchmarks"]}
+    if missing:
+        print(f"error: source run is missing {sorted(missing)}", file=sys.stderr)
+        return 1
+    with open(args.dest, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.dest} ({len(baseline['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,11 +4,12 @@ Three subcommands::
 
     python -m repro list                      # topologies, defenses, detectors, experiments
     python -m repro run --topology dumbbell --defense spi --rate 400
-    python -m repro experiment e1 [--quick] [--markdown]
+    python -m repro experiment e1 [--quick] [--markdown] [--workers N]
 
 ``run`` executes a single scenario and prints the detection timeline and
 service summary; ``experiment`` regenerates one of the evaluation tables
-(E1-E7 plus the extension experiments).
+(E1-E7 plus the extension experiments), fanning its scenario runs over
+``--workers`` processes (default: one per CPU).
 """
 
 from __future__ import annotations
@@ -80,6 +81,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="reduced parameters for a fast run")
     experiment.add_argument("--markdown", action="store_true",
                             help="emit GitHub markdown instead of aligned text")
+    experiment.add_argument("--workers", type=int, default=None, metavar="N",
+                            help="worker processes for the scenario fan-out "
+                                 "(default: one per CPU; 1 forces serial)")
     return parser
 
 
@@ -150,7 +154,8 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_experiment(args: argparse.Namespace) -> int:
     fn = ALL_EXPERIMENTS[args.name]
-    kwargs = QUICK_ARGS.get(args.name, {}) if args.quick else {}
+    kwargs = dict(QUICK_ARGS.get(args.name, {})) if args.quick else {}
+    kwargs["workers"] = args.workers
     table = fn(**kwargs)
     print(table.to_markdown() if args.markdown else table.to_text())
     return 0

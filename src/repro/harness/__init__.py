@@ -1,5 +1,6 @@
 """Experiment harness: scenario configs, runner, sweeps, experiment suite."""
 
+from repro.harness.parallel import run_scenarios, run_tasks, shutdown_pool
 from repro.harness.scenario import (
     FlashCrowdSpec,
     ScenarioConfig,
@@ -15,6 +16,9 @@ __all__ = [
     "FlashCrowdSpec",
     "run_scenario",
     "run_sweep",
+    "run_scenarios",
+    "run_tasks",
+    "shutdown_pool",
     "grid",
     "apply_overrides",
     "save_config",

@@ -7,16 +7,29 @@ for paper-shape vs measured values) and returns a
 ``benchmarks/`` and the examples call these functions; keeping them here
 guarantees the numbers in docs, benches and examples come from one code
 path.
+
+Every runner takes a ``workers`` argument: its scenario points are
+independent seeded runs, so they fan out over the process pool in
+:mod:`repro.harness.parallel`.  Each experiment reduces a finished
+:class:`ScenarioResult` to plain data with a module-level ``_extract_*``
+function (workers are spawn-started, so extractors are pickled by
+reference and must be importable), and the aggregation into table rows
+happens in the parent from those extracts — which is why the tables are
+byte-identical whatever the worker count.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
 from repro.core.budget import BudgetConfig
 from repro.core.config import SpiConfig
-from repro.harness.scenario import FlashCrowdSpec, ScenarioConfig, run_scenario
-from repro.harness.sweep import apply_overrides
+from repro.harness.parallel import run_scenarios, run_tasks
+from repro.harness.scenario import (
+    FlashCrowdSpec,
+    ScenarioConfig,
+    ScenarioResult,
+)
 from repro.metrics.detection import classify_detections
 from repro.metrics.recorder import summarize
 from repro.metrics.report import Table
@@ -39,9 +52,136 @@ BASE = ScenarioConfig(
 )
 
 
+# --------------------------------------------------------------- extractors
+#
+# Worker-side reductions of a ScenarioResult to picklable plain data.
+
+
+def _extract_timeline(result: ScenarioResult) -> dict[str, Any]:
+    timeline = result.timeline()
+    return {
+        "alert": timeline.time_to_alert,
+        "verdict": timeline.time_to_verdict,
+        "mitigation": timeline.time_to_mitigation,
+    }
+
+
+def _extract_detections(result: ScenarioResult) -> dict[str, Any]:
+    return {
+        "detections": result.detection_times(),
+        "window": result.attack_window,
+    }
+
+
+def _extract_inspection_workload(result: ScenarioResult) -> dict[str, Any]:
+    table_stats = result.flow_table_stats()
+    return {
+        "inspected_fraction": result.inspected_fraction(),
+        "mirror_cpu_share": result.switch_inspection_share(),
+        "busy_seconds": result.switch_busy_seconds(),
+        "mf_hit_rate": table_stats.microflow_hit_rate,
+        "buffer_evictions": result.buffer_evictions(),
+        "detected": len(result.detection_times()) > 0,
+    }
+
+
+def _extract_service_phases(result: ScenarioResult) -> dict[str, Any]:
+    attack_start = result.config.workload.attack_start_s
+    end = result.config.duration_s
+    return {
+        "pre": result.success_rate(0, attack_start),
+        "during": result.success_rate(attack_start, attack_start + 5),
+        "post": result.success_rate(attack_start + 10, end),
+        "latencies": result.workload.client_latencies(attack_start + 10, end),
+    }
+
+
+def _extract_scalability(result: ScenarioResult) -> dict[str, Any]:
+    timeline = result.timeline()
+    return {
+        "alert": timeline.time_to_alert,
+        "mitigation": timeline.time_to_mitigation,
+        "controller_msgs": result.net.controller.messages_received,
+        "flow_mods": sum(
+            sw.counters.flow_mods for sw in result.net.switches.values()
+        ),
+    }
+
+
+def _extract_flashcrowd(result: ScenarioResult) -> dict[str, Any]:
+    tracer = result.net.tracer
+    assert result.flash_crowd is not None
+    return {
+        "alert_times": [e.time for e in tracer.entries("spi.alert")],
+        "confirmed_times": [e.time for e in tracer.entries("spi.confirmed")],
+        "refuted": sum(1 for _ in tracer.entries("spi.refuted")),
+        "crowd_started": result.flash_crowd.connections_started,
+        "crowd_completed": result.flash_crowd.connections_completed,
+    }
+
+
+def _extract_window_ablation(result: ScenarioResult) -> dict[str, Any]:
+    timeline = result.timeline()
+    assert result.spi is not None and result.spi.correlator is not None
+    cases = result.spi.correlator.cases
+    return {
+        "mitigation": timeline.time_to_mitigation,
+        "extensions": sum(case.extensions_used for case in cases),
+        "evidence": [
+            case.report.syn_total for case in cases if case.report is not None
+        ],
+    }
+
+
+def _extract_pulsing(result: ScenarioResult) -> dict[str, Any]:
+    return {
+        "detections": result.detection_times(),
+        "tail": result.success_rate(25.0, 40.0),
+    }
+
+
+def _extract_link_loss(result: ScenarioResult) -> dict[str, Any]:
+    timeline = result.timeline()
+    return {
+        "mitigation": timeline.time_to_mitigation,
+        "post": result.success_rate(12.0, 30.0),
+    }
+
+
+def _extract_placement(result: ScenarioResult) -> dict[str, Any]:
+    timeline = result.timeline()
+    return {
+        "alerts": len(result.alert_times()),
+        "mitigation": timeline.time_to_mitigation,
+    }
+
+
+def _extract_host_vs_network(result: ScenarioResult) -> dict[str, Any]:
+    core_link = result.net.links[0]  # dumbbell cables s1-s2 first
+    stats = core_link.stats_for(core_link.a)
+    return {
+        "success_post": result.success_rate(12.0, 25.0),
+        "drop_rate": stats.drop_rate(),
+        "packets_sent": stats.packets_sent,
+    }
+
+
+def _extract_udp_flood(result: ScenarioResult) -> dict[str, Any]:
+    timeline = result.timeline()
+    return {
+        "mitigation": timeline.time_to_mitigation,
+        "during": result.success_rate(5.0, 8.0),
+        "post": result.success_rate(12.0, 30.0),
+    }
+
+
+# -------------------------------------------------------------- experiments
+
+
 def run_e1_response_time(
     rates: Sequence[float] = (50, 100, 200, 400, 800, 1600),
     seeds: Sequence[int] = (1, 2, 3),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E1: detection & mitigation response time vs attack rate.
 
@@ -53,19 +193,23 @@ def run_e1_response_time(
         "E1: response time vs attack rate",
         ["rate_pps", "t_alert_s", "t_verdict_s", "t_mitigate_s", "detected"],
     )
+    points = [
+        {"workload.attack_rate_pps": float(rate), "seed": seed}
+        for rate in rates
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_timeline, workers=workers)
+    )
     for rate in rates:
         alerts, verdicts, mitigations, detected = [], [], [], 0
-        for seed in seeds:
-            config = apply_overrides(
-                BASE, {"workload.attack_rate_pps": float(rate), "seed": seed}
-            )
-            result = run_scenario(config)
-            timeline = result.timeline()
-            if timeline.time_to_mitigation is not None:
+        for _seed in seeds:
+            row = next(extracts)
+            if row["mitigation"] is not None:
                 detected += 1
-                alerts.append(timeline.time_to_alert)
-                verdicts.append(timeline.time_to_verdict)
-                mitigations.append(timeline.time_to_mitigation)
+                alerts.append(row["alert"])
+                verdicts.append(row["verdict"])
+                mitigations.append(row["mitigation"])
         table.add_row(
             rate,
             summarize(alerts).mean if alerts else None,
@@ -80,6 +224,7 @@ def run_e2_accuracy(
     thresholds: Sequence[float] = (50, 100, 200, 400, 800),
     attack_rate: float = 500.0,
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E2: detection accuracy vs monitor threshold, monitor-only vs SPI.
 
@@ -93,31 +238,34 @@ def run_e2_accuracy(
         "E2: accuracy vs threshold",
         ["threshold", "defense", "tp", "fp", "fn", "precision", "recall", "f1"],
     )
+    points = [
+        {
+            "defense": defense,
+            "detector": "static",
+            "detector_params": {"syn_rate_threshold": float(threshold)},
+            "workload.attack_rate_pps": attack_rate,
+            "workload.attack_start_s": 20.0,
+            "workload.attack_duration_s": 8.0,
+            "duration_s": 32.0,
+            "flash_crowd": FlashCrowdSpec(
+                start_s=6.0, duration_s=6.0, connections_per_second=200.0
+            ),
+            "seed": seed,
+        }
+        for threshold in thresholds
+        for defense in ("monitor-only", "spi")
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_detections, workers=workers)
+    )
     for threshold in thresholds:
         for defense in ("monitor-only", "spi"):
             counts_total = None
-            for seed in seeds:
-                config = apply_overrides(
-                    BASE,
-                    {
-                        "defense": defense,
-                        "detector": "static",
-                        "detector_params": {"syn_rate_threshold": float(threshold)},
-                        "workload.attack_rate_pps": attack_rate,
-                        "workload.attack_start_s": 20.0,
-                        "workload.attack_duration_s": 8.0,
-                        "duration_s": 32.0,
-                        "flash_crowd": FlashCrowdSpec(
-                            start_s=6.0, duration_s=6.0, connections_per_second=200.0
-                        ),
-                        "seed": seed,
-                    },
-                )
-                result = run_scenario(config)
+            for _seed in seeds:
+                row = next(extracts)
                 counts, _ = classify_detections(
-                    result.detection_times(),
-                    [result.attack_window],
-                    grace_s=3.0,
+                    row["detections"], [row["window"]], grace_s=3.0
                 )
                 if counts_total is None:
                     counts_total = counts
@@ -142,6 +290,7 @@ def run_e2_accuracy(
 def run_e3_workload(
     rates: Sequence[float] = (100, 300, 900),
     seed: int = 1,
+    workers: Optional[int] = 1,
 ) -> Table:
     """E3: OVS inspection workload — selective vs always-on vs sampled.
 
@@ -163,27 +312,33 @@ def run_e3_workload(
             "detected",
         ],
     )
+    defenses = ("spi", "always-on", "sampled")
+    points = [
+        {
+            "defense": defense,
+            "workload.attack_rate_pps": float(rate),
+            "seed": seed,
+        }
+        for rate in rates
+        for defense in defenses
+    ]
+    extracts = iter(
+        run_scenarios(
+            BASE, points, extract=_extract_inspection_workload, workers=workers
+        )
+    )
     for rate in rates:
-        for defense in ("spi", "always-on", "sampled"):
-            config = apply_overrides(
-                BASE,
-                {
-                    "defense": defense,
-                    "workload.attack_rate_pps": float(rate),
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            table_stats = result.flow_table_stats()
+        for defense in defenses:
+            row = next(extracts)
             table.add_row(
                 rate,
                 defense,
-                result.inspected_fraction(),
-                result.switch_inspection_share(),
-                result.switch_busy_seconds() * 1000,
-                table_stats.microflow_hit_rate,
-                result.buffer_evictions(),
-                len(result.detection_times()) > 0,
+                row["inspected_fraction"],
+                row["mirror_cpu_share"],
+                row["busy_seconds"] * 1000,
+                row["mf_hit_rate"],
+                row["buffer_evictions"],
+                row["detected"],
             )
     return table
 
@@ -191,6 +346,7 @@ def run_e3_workload(
 def run_e4_mitigation(
     attack_rate: float = 400.0,
     seeds: Sequence[int] = (1, 2, 3),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E4: benign service protection under attack.
 
@@ -213,25 +369,28 @@ def run_e4_mitigation(
         ("attack-undefended", "none", True),
         ("attack-spi", "spi", True),
     )
-    for label, defense, with_attack in conditions:
+    points = [
+        {
+            "defense": defense,
+            "with_attack": with_attack,
+            "workload.attack_rate_pps": attack_rate,
+            "duration_s": 40.0,
+            "seed": seed,
+        }
+        for _label, defense, with_attack in conditions
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_service_phases, workers=workers)
+    )
+    for label, _defense, _with_attack in conditions:
         pre, during, post, latencies = [], [], [], []
-        for seed in seeds:
-            config = apply_overrides(
-                BASE,
-                {
-                    "defense": defense,
-                    "with_attack": with_attack,
-                    "workload.attack_rate_pps": attack_rate,
-                    "duration_s": 40.0,
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            attack_start = config.workload.attack_start_s
-            pre.append(result.success_rate(0, attack_start))
-            during.append(result.success_rate(attack_start, attack_start + 5))
-            post.append(result.success_rate(attack_start + 10, 40.0))
-            latencies.extend(result.workload.client_latencies(attack_start + 10, 40.0))
+        for _seed in seeds:
+            row = next(extracts)
+            pre.append(row["pre"])
+            during.append(row["during"])
+            post.append(row["post"])
+            latencies.extend(row["latencies"])
         n = len(seeds)
         table.add_row(
             label,
@@ -246,6 +405,7 @@ def run_e4_mitigation(
 def run_e5_scalability(
     sizes: Sequence[int] = (2, 4, 8, 16),
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E5: detection/mitigation time vs topology size (linear chains).
 
@@ -256,30 +416,31 @@ def run_e5_scalability(
         "E5: scalability with topology size",
         ["switches", "t_alert_s", "t_mitigate_s", "controller_msgs", "flow_mods"],
     )
+    points = [
+        {
+            "topology": "linear",
+            "topology_params": {
+                "n_switches": int(size),
+                "clients_per_switch": 1,
+                "n_attackers": 1,
+            },
+            "seed": seed,
+        }
+        for size in sizes
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_scalability, workers=workers)
+    )
     for size in sizes:
         alerts, mitigations, msgs, mods = [], [], [], []
-        for seed in seeds:
-            config = apply_overrides(
-                BASE,
-                {
-                    "topology": "linear",
-                    "topology_params": {
-                        "n_switches": int(size),
-                        "clients_per_switch": 1,
-                        "n_attackers": 1,
-                    },
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            timeline = result.timeline()
-            if timeline.time_to_mitigation is not None:
-                alerts.append(timeline.time_to_alert)
-                mitigations.append(timeline.time_to_mitigation)
-            msgs.append(result.net.controller.messages_received)
-            mods.append(
-                sum(sw.counters.flow_mods for sw in result.net.switches.values())
-            )
+        for _seed in seeds:
+            row = next(extracts)
+            if row["mitigation"] is not None:
+                alerts.append(row["alert"])
+                mitigations.append(row["mitigation"])
+            msgs.append(row["controller_msgs"])
+            mods.append(row["flow_mods"])
         table.add_row(
             size,
             summarize(alerts).mean if alerts else None,
@@ -293,6 +454,7 @@ def run_e5_scalability(
 def run_e6_flashcrowd(
     crowd_rates: Sequence[float] = (100, 200, 400),
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E6: false alarms under flash crowds.
 
@@ -312,38 +474,36 @@ def run_e6_flashcrowd(
             "flood_confirmed",
         ],
     )
+    points = [
+        {
+            "detector": "static",
+            "detector_params": {"syn_rate_threshold": 60.0},
+            "flash_crowd": FlashCrowdSpec(
+                start_s=6.0, duration_s=6.0, connections_per_second=float(rate)
+            ),
+            "workload.attack_start_s": 20.0,
+            "workload.attack_duration_s": 8.0,
+            "duration_s": 32.0,
+            "seed": seed,
+        }
+        for rate in crowd_rates
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_flashcrowd, workers=workers)
+    )
     for rate in crowd_rates:
         alerts = verified = refuted = confirmed = 0
         crowd_success = []
-        for seed in seeds:
-            config = apply_overrides(
-                BASE,
-                {
-                    "detector": "static",
-                    "detector_params": {"syn_rate_threshold": 60.0},
-                    "flash_crowd": FlashCrowdSpec(
-                        start_s=6.0, duration_s=6.0, connections_per_second=float(rate)
-                    ),
-                    "workload.attack_start_s": 20.0,
-                    "workload.attack_duration_s": 8.0,
-                    "duration_s": 32.0,
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            tracer = result.net.tracer
+        for _seed in seeds:
+            row = next(extracts)
             crowd_end = 12.0
-            alerts += sum(1 for e in tracer.entries("spi.alert") if e.time < crowd_end + 2)
-            verified += sum(
-                1 for e in tracer.entries("spi.confirmed") if e.time < crowd_end + 2
-            )
-            refuted += sum(1 for e in tracer.entries("spi.refuted"))
-            confirmed += sum(
-                1 for e in tracer.entries("spi.confirmed") if e.time >= 20.0
-            )
-            assert result.flash_crowd is not None
-            started = result.flash_crowd.connections_started
-            completed = result.flash_crowd.connections_completed
+            alerts += sum(1 for t in row["alert_times"] if t < crowd_end + 2)
+            verified += sum(1 for t in row["confirmed_times"] if t < crowd_end + 2)
+            refuted += row["refuted"]
+            confirmed += sum(1 for t in row["confirmed_times"] if t >= 20.0)
+            started = row["crowd_started"]
+            completed = row["crowd_completed"]
             crowd_success.append(completed / started if started else 1.0)
         table.add_row(
             rate,
@@ -359,6 +519,7 @@ def run_e6_flashcrowd(
 def run_e7_detector_ablation(
     rates: Sequence[float] = (60, 300),
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E7a: detector family ablation.
 
@@ -376,26 +537,30 @@ def run_e7_detector_ablation(
         "cusum": {},
         "entropy": {},
     }
+    points = [
+        {
+            "detector": family,
+            "detector_params": params,
+            "workload.attack_rate_pps": float(rate),
+            "workload.attack_ramp_s": 4.0,
+            "seed": seed,
+        }
+        for rate in rates
+        for family, params in families.items()
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_timeline, workers=workers)
+    )
     for rate in rates:
-        for family, params in families.items():
+        for family in families:
             alerts, mitigations, detected = [], [], 0
-            for seed in seeds:
-                config = apply_overrides(
-                    BASE,
-                    {
-                        "detector": family,
-                        "detector_params": params,
-                        "workload.attack_rate_pps": float(rate),
-                        "workload.attack_ramp_s": 4.0,
-                        "seed": seed,
-                    },
-                )
-                result = run_scenario(config)
-                timeline = result.timeline()
-                if timeline.time_to_mitigation is not None:
+            for _seed in seeds:
+                row = next(extracts)
+                if row["mitigation"] is not None:
                     detected += 1
-                    alerts.append(timeline.time_to_alert)
-                    mitigations.append(timeline.time_to_mitigation)
+                    alerts.append(row["alert"])
+                    mitigations.append(row["mitigation"])
             table.add_row(
                 rate,
                 family,
@@ -409,6 +574,7 @@ def run_e7_detector_ablation(
 def run_e7_window_ablation(
     windows: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E7b: verification window ablation.
 
@@ -419,22 +585,23 @@ def run_e7_window_ablation(
         "E7b: verification window ablation",
         ["window_s", "t_mitigate_s", "syn_evidence", "extensions", "detected"],
     )
+    points = [
+        {"spi.verification_window_s": float(window), "seed": seed}
+        for window in windows
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_window_ablation, workers=workers)
+    )
     for window in windows:
         mitigations, evidence, extensions, detected = [], [], 0, 0
-        for seed in seeds:
-            config = apply_overrides(
-                BASE, {"spi.verification_window_s": float(window), "seed": seed}
-            )
-            result = run_scenario(config)
-            timeline = result.timeline()
-            if timeline.time_to_mitigation is not None:
+        for _seed in seeds:
+            row = next(extracts)
+            if row["mitigation"] is not None:
                 detected += 1
-                mitigations.append(timeline.time_to_mitigation)
-            assert result.spi is not None and result.spi.correlator is not None
-            for case in result.spi.correlator.cases:
-                extensions += case.extensions_used
-                if case.report is not None:
-                    evidence.append(case.report.syn_total)
+                mitigations.append(row["mitigation"])
+            extensions += row["extensions"]
+            evidence.extend(row["evidence"])
         table.add_row(
             window,
             summarize(mitigations).mean if mitigations else None,
@@ -445,10 +612,71 @@ def run_e7_window_ablation(
     return table
 
 
+def _e7c_point(budget: int, n_victims: int, seed: int) -> dict[str, Any]:
+    """One E7c cell: several victims flooded at once under a shared budget.
+
+    Builds its network directly (no ScenarioConfig covers multi-victim
+    floods), so it rides the generic :func:`run_tasks` layer.
+    """
+    from repro.core.spi import SpiSystem
+    from repro.monitor.detectors import EwmaDetector
+    from repro.topology.builder import Network
+    from repro.workload.attacker import AttackSchedule, SynFloodAttacker, SynFloodConfig
+    from repro.workload.servers import WebServer
+
+    net = Network(seed=seed)
+    net.add_switch("s1")
+    servers = []
+    for i in range(n_victims):
+        name = f"srv{i + 1}"
+        net.add_host(name)
+        net.link(name, "s1")
+        servers.append(name)
+    for i in range(n_victims):
+        name = f"atk{i + 1}"
+        net.add_host(name)
+        net.link(name, "s1")
+    net.finalize()
+    spi = SpiSystem(
+        net,
+        SpiConfig(budget=BudgetConfig(max_concurrent=budget, max_queue=8)),
+    )
+    spi.deploy_inspector("s1")
+    spi.deploy_monitor("s1", EwmaDetector())
+    web_servers = [WebServer(net.stack(s), backlog=64) for s in servers]
+    attackers = []
+    for i, server in enumerate(web_servers):
+        attacker = SynFloodAttacker(
+            net.hosts[f"atk{i + 1}"],
+            net.rng.child(f"atk{i + 1}"),
+            SynFloodConfig(
+                victim_ip=server.ip,
+                rate_pps=250.0,
+                schedule=AttackSchedule(start_s=5.0),
+            ),
+        )
+        attacker.start()
+        attackers.append(attacker)
+    net.run(until=40.0)
+    spi.stop()
+    net.stop()
+    # First mitigation per victim only: rules expire and re-install
+    # for persistent floods, which is not the quantity under test.
+    first_by_victim: dict[str, float] = {}
+    for entry in net.tracer.entries("mitigation.installed"):
+        victim = entry.data.get("victim", "?")
+        first_by_victim.setdefault(victim, entry.time - 5.0)
+    return {
+        "times": list(first_by_victim.values()),
+        "queued": spi.stats.inspections_queued,
+    }
+
+
 def run_e7_budget_ablation(
     budgets: Sequence[int] = (1, 2, 4),
     n_victims: int = 3,
     seed: int = 1,
+    workers: Optional[int] = 1,
 ) -> Table:
     """E7c: inspection budget ablation under simultaneous victims.
 
@@ -457,66 +685,23 @@ def run_e7_budget_ablation(
     parallelizes it.  The reported number is the worst-case time to
     mitigation across victims.
     """
-    from repro.core.spi import SpiSystem
-    from repro.monitor.detectors import EwmaDetector
-    from repro.topology.builder import Network
-    from repro.workload.attacker import AttackSchedule, SynFloodAttacker, SynFloodConfig
-    from repro.workload.servers import WebServer
-
     table = Table(
         "E7c: inspection budget ablation",
         ["budget", "victims", "worst_t_mitigate_s", "mean_t_mitigate_s", "queued"],
     )
-    for budget in budgets:
-        net = Network(seed=seed)
-        net.add_switch("s1")
-        servers = []
-        for i in range(n_victims):
-            name = f"srv{i + 1}"
-            net.add_host(name)
-            net.link(name, "s1")
-            servers.append(name)
-        for i in range(n_victims):
-            name = f"atk{i + 1}"
-            net.add_host(name)
-            net.link(name, "s1")
-        net.finalize()
-        spi = SpiSystem(
-            net,
-            SpiConfig(budget=BudgetConfig(max_concurrent=budget, max_queue=8)),
-        )
-        spi.deploy_inspector("s1")
-        spi.deploy_monitor("s1", EwmaDetector())
-        web_servers = [WebServer(net.stack(s), backlog=64) for s in servers]
-        attackers = []
-        for i, server in enumerate(web_servers):
-            attacker = SynFloodAttacker(
-                net.hosts[f"atk{i + 1}"],
-                net.rng.child(f"atk{i + 1}"),
-                SynFloodConfig(
-                    victim_ip=server.ip,
-                    rate_pps=250.0,
-                    schedule=AttackSchedule(start_s=5.0),
-                ),
-            )
-            attacker.start()
-            attackers.append(attacker)
-        net.run(until=40.0)
-        spi.stop()
-        net.stop()
-        # First mitigation per victim only: rules expire and re-install
-        # for persistent floods, which is not the quantity under test.
-        first_by_victim: dict[str, float] = {}
-        for entry in net.tracer.entries("mitigation.installed"):
-            victim = entry.data.get("victim", "?")
-            first_by_victim.setdefault(victim, entry.time - 5.0)
-        times = list(first_by_victim.values())
+    tasks = [
+        {"budget": budget, "n_victims": n_victims, "seed": seed}
+        for budget in budgets
+    ]
+    rows = run_tasks(_e7c_point, tasks, workers=workers)
+    for budget, row in zip(budgets, rows):
+        times = row["times"]
         table.add_row(
             budget,
             f"{len(times)}/{n_victims}",
             max(times) if times else None,
             (sum(times) / len(times)) if times else None,
-            spi.stats.inspections_queued,
+            row["queued"],
         )
     return table
 
@@ -525,6 +710,7 @@ def run_e7_sampling_ablation(
     probabilities: Sequence[float] = (1.0, 0.25, 0.05, 0.01),
     rates: Sequence[float] = (100.0, 800.0),
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E7d: monitor sampling-rate ablation.
 
@@ -537,26 +723,30 @@ def run_e7_sampling_ablation(
         "E7d: monitor sampling ablation",
         ["sampling_p", "rate_pps", "detected_runs", "t_alert_s", "t_mitigate_s"],
     )
+    points = [
+        {
+            "spi.monitor.sampling_probability": float(probability),
+            "workload.attack_rate_pps": float(rate),
+            "seed": seed,
+        }
+        for probability in probabilities
+        for rate in rates
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_timeline, workers=workers)
+    )
     for probability in probabilities:
         for rate in rates:
             detected = 0
             alerts: list[float] = []
             mitigations: list[float] = []
-            for seed in seeds:
-                config = apply_overrides(
-                    BASE,
-                    {
-                        "spi.monitor.sampling_probability": float(probability),
-                        "workload.attack_rate_pps": float(rate),
-                        "seed": seed,
-                    },
-                )
-                result = run_scenario(config)
-                timeline = result.timeline()
-                if timeline.time_to_mitigation is not None:
+            for _seed in seeds:
+                row = next(extracts)
+                if row["mitigation"] is not None:
                     detected += 1
-                    alerts.append(timeline.time_to_alert)
-                    mitigations.append(timeline.time_to_mitigation)
+                    alerts.append(row["alert"])
+                    mitigations.append(row["mitigation"])
             table.add_row(
                 probability,
                 rate,
@@ -570,6 +760,7 @@ def run_e7_sampling_ablation(
 def run_e8_pulsing(
     pulse_rate: float = 800.0,
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E8 (extension): pulsing (on-off) flood vs inspection scheduling.
 
@@ -583,34 +774,39 @@ def run_e8_pulsing(
         "E8: pulsing flood (1s on / 4s off)",
         ["defense", "detected_runs", "first_detection_s", "success_tail"],
     )
-    for defense in ("spi", "sampled", "flow-stats"):
+    defenses = ("spi", "sampled", "flow-stats")
+    points = [
+        {
+            "defense": defense,
+            "workload.attack_rate_pps": pulse_rate,
+            # Start at t=7 so the 1s pulses (7-8, 12-13, ...) are
+            # anti-aligned with the sampled baseline's on-phases
+            # (5-6, 10-11, ...): the classic evasion.
+            "workload.attack_start_s": 7.0,
+            "workload.attack_pulse_on_s": 1.0,
+            "workload.attack_pulse_off_s": 4.0,
+            "duration_s": 40.0,
+            "sampled_period_s": 5.0,
+            "sampled_duty": 0.2,
+            "seed": seed,
+        }
+        for defense in defenses
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_pulsing, workers=workers)
+    )
+    for defense in defenses:
         detected = 0
         first: list[float] = []
         tails: list[float] = []
-        for seed in seeds:
-            config = apply_overrides(
-                BASE,
-                {
-                    "defense": defense,
-                    "workload.attack_rate_pps": pulse_rate,
-                    # Start at t=7 so the 1s pulses (7-8, 12-13, ...) are
-                    # anti-aligned with the sampled baseline's on-phases
-                    # (5-6, 10-11, ...): the classic evasion.
-                    "workload.attack_start_s": 7.0,
-                    "workload.attack_pulse_on_s": 1.0,
-                    "workload.attack_pulse_off_s": 4.0,
-                    "duration_s": 40.0,
-                    "sampled_period_s": 5.0,
-                    "sampled_duty": 0.2,
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            times = [t for t in result.detection_times() if t >= 7.0]
+        for _seed in seeds:
+            row = next(extracts)
+            times = [t for t in row["detections"] if t >= 7.0]
             if times:
                 detected += 1
                 first.append(times[0] - 7.0)
-            tails.append(result.success_rate(25.0, 40.0))
+            tails.append(row["tail"])
         table.add_row(
             defense,
             f"{detected}/{len(seeds)}",
@@ -623,6 +819,7 @@ def run_e8_pulsing(
 def run_e9_link_loss(
     losses: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E9 (extension): detection robustness under random packet loss.
 
@@ -634,25 +831,28 @@ def run_e9_link_loss(
         "E9: robustness to link loss",
         ["loss", "detected_runs", "t_mitigate_s", "success_post"],
     )
+    points = [
+        {
+            "link_loss_probability": float(loss),
+            "workload.attack_rate_pps": 400.0,
+            "seed": seed,
+        }
+        for loss in losses
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_link_loss, workers=workers)
+    )
     for loss in losses:
         detected = 0
         mitigations: list[float] = []
         post: list[float] = []
-        for seed in seeds:
-            config = apply_overrides(
-                BASE,
-                {
-                    "link_loss_probability": float(loss),
-                    "workload.attack_rate_pps": 400.0,
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            timeline = result.timeline()
-            if timeline.time_to_mitigation is not None:
+        for _seed in seeds:
+            row = next(extracts)
+            if row["mitigation"] is not None:
                 detected += 1
-                mitigations.append(timeline.time_to_mitigation)
-            post.append(result.success_rate(12.0, 30.0))
+                mitigations.append(row["mitigation"])
+            post.append(row["post"])
         table.add_row(
             loss,
             f"{detected}/{len(seeds)}",
@@ -665,6 +865,7 @@ def run_e9_link_loss(
 def run_e10_monitor_placement(
     per_attacker_rate: float = 90.0,
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E10 (extension): where to put the monitors.
 
@@ -683,33 +884,36 @@ def run_e10_monitor_placement(
         "attacker-edges": ("edge1", "edge2", "edge3", "edge4"),
         "everywhere": ("core", "edge1", "edge2", "edge3", "edge4"),
     }
-    for label, switches in placements.items():
+    points = [
+        {
+            "topology": "star",
+            "topology_params": {
+                "n_arms": 4, "clients_per_arm": 1, "n_attackers": 4
+            },
+            "detector": "static",
+            # Above any single arm's rate, below the aggregate.
+            "detector_params": {"syn_rate_threshold": 2.0 * per_attacker_rate},
+            "workload.attack_rate_pps": 4 * per_attacker_rate,
+            "monitor_switches": switches,
+            "inspector_switch": "core",
+            "seed": seed,
+        }
+        for switches in placements.values()
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_placement, workers=workers)
+    )
+    for label in placements:
         alerts = 0
         detected = 0
         mitigations: list[float] = []
-        for seed in seeds:
-            config = apply_overrides(
-                BASE,
-                {
-                    "topology": "star",
-                    "topology_params": {
-                        "n_arms": 4, "clients_per_arm": 1, "n_attackers": 4
-                    },
-                    "detector": "static",
-                    # Above any single arm's rate, below the aggregate.
-                    "detector_params": {"syn_rate_threshold": 2.0 * per_attacker_rate},
-                    "workload.attack_rate_pps": 4 * per_attacker_rate,
-                    "monitor_switches": switches,
-                    "inspector_switch": "core",
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            alerts += len(result.alert_times())
-            timeline = result.timeline()
-            if timeline.time_to_mitigation is not None:
+        for _seed in seeds:
+            row = next(extracts)
+            alerts += row["alerts"]
+            if row["mitigation"] is not None:
                 detected += 1
-                mitigations.append(timeline.time_to_mitigation)
+                mitigations.append(row["mitigation"])
         table.add_row(
             label,
             alerts,
@@ -722,6 +926,7 @@ def run_e10_monitor_placement(
 def run_e11_host_vs_network_defense(
     rates: Sequence[float] = (400.0, 8000.0),
     seed: int = 1,
+    workers: Optional[int] = 1,
 ) -> Table:
     """E11 (extension): SYN cookies (host) vs SPI (network) vs both.
 
@@ -741,37 +946,39 @@ def run_e11_host_vs_network_defense(
         ("spi", "spi", False),
         ("both", "spi", True),
     )
+    points = [
+        {
+            "defense": defense,
+            "syn_cookies": cookies,
+            "workload.attack_rate_pps": float(rate),
+            "topology_params": {
+                "n_clients": 4,
+                "n_attackers": 2,
+                # A 2 Mbps core saturates near 4600 flood pps
+                # (54-byte SYNs), exposing the volumetric regime.
+                "core_bandwidth_bps": 2e6,
+            },
+            "duration_s": 25.0,
+            "seed": seed,
+        }
+        for rate in rates
+        for _label, defense, cookies in conditions
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_host_vs_network, workers=workers)
+    )
     for rate in rates:
-        for label, defense, cookies in conditions:
-            config = apply_overrides(
-                BASE,
-                {
-                    "defense": defense,
-                    "syn_cookies": cookies,
-                    "workload.attack_rate_pps": float(rate),
-                    "topology_params": {
-                        "n_clients": 4,
-                        "n_attackers": 2,
-                        # A 2 Mbps core saturates near 4600 flood pps
-                        # (54-byte SYNs), exposing the volumetric regime.
-                        "core_bandwidth_bps": 2e6,
-                    },
-                    "duration_s": 25.0,
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            core_link = result.net.links[0]  # dumbbell cables s1-s2 first
-            stats = core_link.stats_for(core_link.a)
+        for label, _defense, _cookies in conditions:
+            row = next(extracts)
             table.add_row(
                 rate,
                 label,
-                result.success_rate(12.0, 25.0),
-                stats.drop_rate(),
+                row["success_post"],
+                row["drop_rate"],
                 # More than ~3 attack-seconds' worth of flood packets
                 # (after a generous allowance for benign traffic) means
                 # the flood ran unmitigated over the core.
-                stats.packets_sent > rate * 3 + 5000,
+                row["packets_sent"] > rate * 3 + 5000,
             )
     return table
 
@@ -779,6 +986,7 @@ def run_e11_host_vs_network_defense(
 def run_e12_udp_flood(
     rates: Sequence[float] = (500.0, 1500.0),
     seeds: Sequence[int] = (1, 2),
+    workers: Optional[int] = 1,
 ) -> Table:
     """E12 (extension): UDP volumetric flood through the same pipeline.
 
@@ -791,36 +999,39 @@ def run_e12_udp_flood(
         "E12: UDP flood detection and mitigation",
         ["rate_pps", "detected_runs", "t_mitigate_s", "success_during", "success_post"],
     )
+    points = [
+        {
+            "detector": "udp-rate",
+            "detector_params": {"udp_rate_threshold": 150.0},
+            "workload.attack_kind": "udp",
+            "workload.attack_rate_pps": float(rate),
+            "workload.udp_payload_bytes": 512,
+            "topology_params": {
+                "n_clients": 4,
+                "n_attackers": 2,
+                "core_bandwidth_bps": 10e6,
+            },
+            "duration_s": 30.0,
+            "seed": seed,
+        }
+        for rate in rates
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_udp_flood, workers=workers)
+    )
     for rate in rates:
         detected = 0
         mitigations: list[float] = []
         during: list[float] = []
         post: list[float] = []
-        for seed in seeds:
-            config = apply_overrides(
-                BASE,
-                {
-                    "detector": "udp-rate",
-                    "detector_params": {"udp_rate_threshold": 150.0},
-                    "workload.attack_kind": "udp",
-                    "workload.attack_rate_pps": float(rate),
-                    "workload.udp_payload_bytes": 512,
-                    "topology_params": {
-                        "n_clients": 4,
-                        "n_attackers": 2,
-                        "core_bandwidth_bps": 10e6,
-                    },
-                    "duration_s": 30.0,
-                    "seed": seed,
-                },
-            )
-            result = run_scenario(config)
-            timeline = result.timeline()
-            if timeline.time_to_mitigation is not None:
+        for _seed in seeds:
+            row = next(extracts)
+            if row["mitigation"] is not None:
                 detected += 1
-                mitigations.append(timeline.time_to_mitigation)
-            during.append(result.success_rate(5.0, 8.0))
-            post.append(result.success_rate(12.0, 30.0))
+                mitigations.append(row["mitigation"])
+            during.append(row["during"])
+            post.append(row["post"])
         table.add_row(
             rate,
             f"{detected}/{len(seeds)}",

@@ -1,0 +1,183 @@
+"""Parallel scenario execution across worker processes.
+
+The evaluation suite regenerates its tables from hundreds of independent,
+seeded scenario runs, so the harness fans them out over a process pool:
+
+* ``run_tasks`` is the generic layer: it runs a module-level function over a
+  list of keyword-argument dicts on a ``ProcessPoolExecutor`` and collects
+  the results **in submission order**, with a per-task result timeout,
+  bounded retry, and an in-process serial fallback as the last resort (which
+  also surfaces deterministic errors with their real traceback).
+* ``run_scenarios`` is the scenario layer: each ``(overrides, base config)``
+  point is resolved with :func:`repro.harness.sweep.apply_overrides`, shipped
+  to the worker as the plain-data dict produced by
+  :mod:`repro.harness.serialize` (the same transport the CLI's
+  ``--save``/``--config`` replay path uses), rebuilt, run, and reduced to a
+  picklable value by a caller-supplied ``extract`` function.
+
+Scenarios are fully deterministic given their seed and extraction is pure,
+so the results are identical whatever the worker count — ``workers=1`` and
+``workers=N`` must (and do) produce byte-identical tables.  Workers are
+started with the ``spawn`` method: every entrypoint here is a module-level
+function pickled by reference, so the harness works on platforms where
+``fork`` is unavailable or unsafe.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Optional, Sequence
+
+from repro.harness.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.harness.serialize import config_from_dict, config_to_dict
+
+__all__ = ["resolve_workers", "run_tasks", "run_scenarios", "shutdown_pool"]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request: ``None`` means one per CPU."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+# One cached executor, reused across experiment calls so the spawn cost is
+# paid once per process, not once per table.
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers != workers:
+        shutdown_pool()
+        _pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=multiprocessing.get_context("spawn")
+        )
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Dispose of the cached worker pool (also runs at interpreter exit)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _invoke(fn: Callable[..., Any], kwargs: dict[str, Any]) -> Any:
+    """Worker-side trampoline: apply a task's keyword arguments."""
+    return fn(**kwargs)
+
+
+def run_tasks(
+    fn: Callable[..., Any],
+    tasks: Sequence[dict[str, Any]],
+    *,
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+) -> list[Any]:
+    """Run ``fn(**task)`` for every task, returning results in task order.
+
+    ``fn`` must be a module-level callable (pickled by reference for the
+    spawn-started workers).  Each task gets up to ``retries`` resubmissions
+    after a failure or a ``timeout_s`` wait on its result; once those are
+    exhausted the task runs serially in this process, which either completes
+    it (e.g. the payload was merely unpicklable) or raises the genuine
+    error with a usable traceback.  A broken pool (a worker died) disables
+    parallelism for the remaining tasks instead of failing the sweep.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(**task) for task in tasks]
+
+    pool = _get_pool(workers)
+    futures = [pool.submit(_invoke, fn, task) for task in tasks]
+    results: list[Any] = []
+    for index, task in enumerate(tasks):
+        future = futures[index]
+        attempts = 0
+        while True:
+            try:
+                results.append(future.result(timeout=timeout_s))
+                break
+            except BrokenProcessPool:
+                # The pool is unusable for every outstanding future; finish
+                # this task (and let later iterations do the same) serially.
+                shutdown_pool()
+                results.append(fn(**task))
+                break
+            except Exception as exc:
+                if isinstance(exc, FutureTimeoutError):
+                    future.cancel()
+                if attempts >= retries:
+                    results.append(fn(**task))
+                    break
+                attempts += 1
+                try:
+                    future = _get_pool(workers).submit(_invoke, fn, task)
+                except Exception:
+                    results.append(fn(**task))
+                    break
+    return results
+
+
+def _scenario_worker(
+    config_data: dict[str, Any], extract: Callable[[ScenarioResult], Any]
+) -> Any:
+    """Spawn-safe worker entrypoint: rebuild, run, reduce one scenario."""
+    result = run_scenario(config_from_dict(config_data))
+    return extract(result)
+
+
+def run_scenarios(
+    base: ScenarioConfig,
+    points: Sequence[dict[str, Any]],
+    *,
+    extract: Optional[Callable[[ScenarioResult], Any]] = None,
+    workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+) -> list[Any]:
+    """Run one scenario per override point, fanned out across workers.
+
+    Args:
+        base: the scenario every point starts from.
+        points: dotted-path override dicts (see
+            :func:`repro.harness.sweep.apply_overrides`); an empty dict runs
+            ``base`` unchanged.
+        extract: module-level function reducing a :class:`ScenarioResult`
+            to a picklable value.  Without one the full (unpicklable)
+            results are needed, so the run degrades gracefully to serial.
+        workers: process count; ``None`` means one per CPU, ``1`` forces
+            the serial path.
+
+    Returns:
+        One value per point, in point order, regardless of worker count.
+    """
+    from repro.harness.sweep import apply_overrides
+
+    configs = [apply_overrides(base, point) if point else base for point in points]
+    if extract is None or resolve_workers(workers) <= 1 or len(configs) <= 1:
+        results = [run_scenario(config) for config in configs]
+        if extract is None:
+            return results
+        return [extract(result) for result in results]
+    tasks = [
+        {"config_data": config_to_dict(config), "extract": extract}
+        for config in configs
+    ]
+    return run_tasks(
+        _scenario_worker, tasks, workers=workers, timeout_s=timeout_s, retries=retries
+    )

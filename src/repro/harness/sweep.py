@@ -9,21 +9,32 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable, Optional
 
-from repro.harness.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.harness.scenario import ScenarioConfig, ScenarioResult
 
 
-def apply_overrides(config: Any, overrides: dict[str, Any]) -> Any:
+def apply_overrides(
+    config: Any, overrides: dict[str, Any], _prefix: str = ""
+) -> Any:
     """Return a copy of a (nested) frozen dataclass with fields replaced.
 
     Keys are dotted paths; each segment except the last must name a
-    dataclass field holding another dataclass.
+    dataclass field holding another dataclass.  An unknown segment raises
+    ``KeyError`` naming the full bad path and the fields that exist, so a
+    sweep axis typo fails loudly instead of as a bare ``replace`` error.
     """
+    valid = {f.name for f in dataclasses.fields(config)}
     grouped: dict[str, dict[str, Any]] = {}
     direct: dict[str, Any] = {}
     for path, value in overrides.items():
         head, _, rest = path.partition(".")
+        if head not in valid:
+            raise KeyError(
+                f"unknown override path {_prefix + path!r}: "
+                f"{type(config).__name__} has no field {head!r} "
+                f"(valid fields: {', '.join(sorted(valid))})"
+            )
         if rest:
             grouped.setdefault(head, {})[rest] = value
         else:
@@ -31,8 +42,12 @@ def apply_overrides(config: Any, overrides: dict[str, Any]) -> Any:
     for head, sub in grouped.items():
         current = getattr(config, head)
         if not dataclasses.is_dataclass(current):
-            raise TypeError(f"{head!r} is not a nested dataclass on {type(config).__name__}")
-        direct[head] = apply_overrides(current, sub)
+            raise TypeError(
+                f"override path {_prefix + head!r} does not reach a nested "
+                f"dataclass: {head!r} is a {type(current).__name__} on "
+                f"{type(config).__name__}"
+            )
+        direct[head] = apply_overrides(current, sub, _prefix=f"{_prefix}{head}.")
     return dataclasses.replace(config, **direct)
 
 
@@ -48,11 +63,32 @@ def grid(**axes: Iterable[Any]) -> list[dict[str, Any]]:
 
 
 def run_sweep(
-    base: ScenarioConfig, points: list[dict[str, Any]]
-) -> list[tuple[dict[str, Any], ScenarioResult]]:
-    """Run one scenario per override point, in order."""
-    results = []
-    for point in points:
-        config = apply_overrides(base, point)
-        results.append((point, run_scenario(config)))
-    return results
+    base: ScenarioConfig,
+    points: list[dict[str, Any]],
+    *,
+    workers: Optional[int] = 1,
+    extract: Optional[Callable[[ScenarioResult], Any]] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+) -> list[tuple[dict[str, Any], Any]]:
+    """Run one scenario per override point, in order.
+
+    With the defaults the sweep runs serially and each point pairs with its
+    full :class:`ScenarioResult`.  Passing ``workers`` (``None`` = one per
+    CPU) fans the points out over the process pool in
+    :mod:`repro.harness.parallel`; that path needs a module-level
+    ``extract`` function because live results do not pickle, and falls back
+    to serial execution when it is omitted.  Point order — and, because
+    runs are seed-deterministic, every value — is identical either way.
+    """
+    from repro.harness.parallel import run_scenarios
+
+    values = run_scenarios(
+        base,
+        points,
+        extract=extract,
+        workers=workers,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+    return list(zip(points, values))

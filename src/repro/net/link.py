@@ -94,21 +94,28 @@ class LinkEnd:
             return False
         self._queue.append(packet)
         if not self._transmitting:
-            self._start_next()
+            entry = self._next_tx()
+            if entry is not None:
+                self._sim.schedule(*entry)
         return True
 
-    def _start_next(self) -> None:
+    def _next_tx(self) -> tuple[float, Callable[[], None], str] | None:
+        """Dequeue the next packet and return its serialization event entry."""
         if not self._queue:
             self._transmitting = False
-            return
+            return None
         self._transmitting = True
         packet = self._queue.popleft()
         tx_time = self.transmission_time(packet)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size_bytes
-        self._sim.schedule(tx_time, lambda p=packet: self._finish(p), "link.tx")
+        return (tx_time, lambda p=packet: self._finish(p), "link.tx")
 
     def _finish(self, packet: Packet) -> None:
+        # The propagation of the finished packet and the serialization of
+        # the next one are scheduled as one batch (same order as separate
+        # schedule() calls, so event sequence numbers are unchanged).
+        batch: list[tuple[float, Callable[[], None], str]] = []
         if (
             self._loss_probability > 0
             and self._rng is not None
@@ -116,10 +123,16 @@ class LinkEnd:
         ):
             self.stats.packets_lost += 1
         elif self._peer is not None:
-            self._sim.schedule(
-                self._delay_s, lambda p=packet: self._deliver(p), "link.propagate"
+            batch.append(
+                (self._delay_s, lambda p=packet: self._deliver(p), "link.propagate")
             )
-        self._start_next()
+        entry = self._next_tx()
+        if entry is not None:
+            batch.append(entry)
+        if len(batch) == 1:
+            self._sim.schedule(*batch[0])
+        elif batch:
+            self._sim.schedule_many(batch)
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.packets_delivered += 1

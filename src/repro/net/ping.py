@@ -84,14 +84,19 @@ class PingService:
                 self.timeout_s, lambda: self._expire(identifier, seq), "ping.timeout"
             )
 
-        for seq in range(count):
-            self.host.sim.schedule(seq * interval_s, lambda s=seq: fire(s), "ping.send")
+        batch = [
+            (seq * interval_s, lambda s=seq: fire(s), "ping.send")
+            for seq in range(count)
+        ]
         if on_complete is not None:
-            self.host.sim.schedule(
-                (count - 1) * interval_s + self.timeout_s + 1e-6,
-                lambda: on_complete(result),
-                "ping.complete",
+            batch.append(
+                (
+                    (count - 1) * interval_s + self.timeout_s + 1e-6,
+                    lambda: on_complete(result),
+                    "ping.complete",
+                )
             )
+        self.host.sim.schedule_many(batch)
         return result
 
     # ------------------------------------------------------------ inbound

@@ -4,20 +4,25 @@ The engine is a classic calendar-queue simulator: callbacks are scheduled at
 absolute simulated times and executed in time order.  Ties are broken by a
 monotonically increasing sequence number so that events scheduled earlier run
 earlier, which keeps every run fully deterministic for a given seed.
+
+The heap stores ``(time, seq, event)`` tuples rather than the events
+themselves, so heap sifts compare a float and an int instead of dispatching
+into a rich-comparison method; the event object is a ``__slots__`` handle
+carrying the callback and the cancellation flag.  ``Simulator.run`` walks the
+heap directly (one skim for cancelled entries, one pop per executed event)
+because this loop bounds how large a simulated network the harness can drive.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable, Iterable, Sequence
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid use of the simulator (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -25,22 +30,33 @@ class Event:
     and guarantees FIFO execution among events scheduled for the same instant.
     """
 
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "label", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, fn: Callable[[], None], label: str = ""
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when it is popped."""
         self.cancelled = True
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time!r}, seq={self.seq}, label={self.label!r}{state})"
+
 
 class EventQueue:
-    """A cancellable min-heap of :class:`Event` objects."""
+    """A cancellable min-heap of ``(time, seq, Event)`` entries."""
+
+    __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._live = 0
 
@@ -49,16 +65,40 @@ class EventQueue:
 
     def push(self, time: float, fn: Callable[[], None], label: str = "") -> Event:
         """Insert a callback at absolute ``time`` and return its event handle."""
-        event = Event(time=time, seq=self._seq, fn=fn, label=label)
+        event = Event(time, self._seq, fn, label)
+        heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, event)
         return event
+
+    def push_many(
+        self, items: Iterable[tuple[float, Callable[[], None], str]]
+    ) -> list[Event]:
+        """Insert a batch of ``(time, fn, label)`` entries in one call.
+
+        Sequence numbers are assigned in iteration order, so a batch behaves
+        exactly like the equivalent series of :meth:`push` calls (FIFO among
+        equal times is preserved) while amortizing the per-call overhead.
+        """
+        heap = self._heap
+        heappush = heapq.heappush
+        seq = self._seq
+        events: list[Event] = []
+        append = events.append
+        for time, fn, label in items:
+            event = Event(time, seq, fn, label)
+            heappush(heap, (time, seq, event))
+            seq += 1
+            append(event)
+        self._live += len(events)
+        self._seq = seq
+        return events
 
     def pop(self) -> Event | None:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -67,11 +107,12 @@ class EventQueue:
 
     def peek_time(self) -> float | None:
         """Return the time of the earliest non-cancelled event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self) -> None:
         """Account for an event cancelled via its handle."""
@@ -112,7 +153,35 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay!r}s in the past")
-        return self._queue.push(self._now + delay, fn, label)
+        # Inlined EventQueue.push: schedule() is called once per simulated
+        # event, so the extra call frame is measurable at scale.
+        queue = self._queue
+        seq = queue._seq
+        event = Event(self._now + delay, seq, fn, label)
+        heapq.heappush(queue._heap, (event.time, seq, event))
+        queue._seq = seq + 1
+        queue._live += 1
+        return event
+
+    def schedule_many(
+        self, items: Sequence[tuple[float, Callable[[], None], str]]
+    ) -> list[Event]:
+        """Schedule a batch of ``(delay, fn, label)`` entries in one call.
+
+        Equivalent to calling :meth:`schedule` once per entry, in order
+        (sequence numbers — and therefore FIFO ties — are identical), but
+        with the validation and heap-push overhead amortized across the
+        batch.  Links and the periodic traffic processes (ping trains,
+        flood on/off schedules, flash-crowd windows) use this for the
+        multi-event scheduling they do per callback.
+        """
+        now = self._now
+        for delay, _fn, _label in items:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        return self._queue.push_many(
+            (now + delay, fn, label) for delay, fn, label in items
+        )
 
     def schedule_at(self, time: float, fn: Callable[[], None], label: str = "") -> Event:
         """Schedule ``fn`` at absolute simulated ``time`` (>= now)."""
@@ -149,25 +218,37 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # The peek/pop pair is inlined on the queue's heap: the loop below
+        # is the hottest code in the repository, and going through the
+        # EventQueue methods costs a dict lookup and a call frame per event.
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        limit = float("inf") if until is None else until
+        # Equality against -1 never fires; non-positive budgets behave like
+        # the historical post-increment ``>=`` check (one event, then stop).
+        budget = -1 if max_events is None else max(1, max_events)
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                while heap and heap[0][2].cancelled:
+                    heappop(heap)
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                head = heap[0]
+                if head[0] > limit:
                     break
-                event = self._queue.pop()
-                assert event is not None
-                self._now = event.time
-                event.fn()
+                heappop(heap)
+                queue._live -= 1
+                self._now = head[0]
+                head[2].fn()
                 executed += 1
-                self.events_executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed == budget:
                     break
             if until is not None and not self._stopped and self._now < until:
                 self._now = until
             return self._now
         finally:
+            self.events_executed += executed
             self._running = False
 
     def pending(self) -> int:

@@ -64,9 +64,15 @@ class FlashCrowd:
         self._interval = Interval.poisson(
             sim, rng, config.connections_per_second, self._spawn, "flashcrowd"
         )
-        sim.schedule(config.start_s, self._interval.start, "flashcrowd.start")
-        sim.schedule(
-            config.start_s + config.duration_s, self._interval.stop, "flashcrowd.end"
+        sim.schedule_many(
+            [
+                (config.start_s, self._interval.start, "flashcrowd.start"),
+                (
+                    config.start_s + config.duration_s,
+                    self._interval.stop,
+                    "flashcrowd.end",
+                ),
+            ]
         )
 
     def _spawn(self) -> None:

@@ -125,6 +125,23 @@ class TestOverrides:
         with pytest.raises(TypeError):
             apply_overrides(ScenarioConfig(), {"topology.liquid": 1})
 
+    def test_unknown_field_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown override path 'sed'"):
+            apply_overrides(ScenarioConfig(), {"sed": 9})
+
+    def test_unknown_nested_field_names_full_path(self):
+        with pytest.raises(
+            KeyError, match="unknown override path 'workload.attack_rate_pp'"
+        ):
+            apply_overrides(ScenarioConfig(), {"workload.attack_rate_pp": 1.0})
+
+    def test_error_lists_valid_fields(self):
+        with pytest.raises(KeyError) as excinfo:
+            apply_overrides(ScenarioConfig(), {"workload.nope": 1.0})
+        message = str(excinfo.value)
+        assert "WorkloadConfig" in message
+        assert "attack_rate_pps" in message
+
 
 class TestGrid:
     def test_cartesian_product(self):

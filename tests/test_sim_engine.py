@@ -50,6 +50,39 @@ class TestEventQueue:
     def test_pop_empty_returns_none(self):
         assert EventQueue().pop() is None
 
+    def test_cancel_then_peek_keeps_live_count_consistent(self):
+        # peek_time discards cancelled heap entries eagerly; that must not
+        # disturb the _live accounting note_cancelled already adjusted.
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        second = q.push(2.0, lambda: None)
+        first.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+        assert q.pop() is second
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+    def test_push_many_matches_sequential_pushes(self):
+        q = EventQueue()
+        before = q.push(1.0, lambda: None)
+        batch = q.push_many(
+            [(1.0, lambda: None, "a"), (0.5, lambda: None, "b")]
+        )
+        after = q.push(1.0, lambda: None)
+        assert [e.seq for e in batch] == [before.seq + 1, before.seq + 2]
+        assert after.seq == batch[-1].seq + 1
+        assert len(q) == 4
+        # Equal-time FIFO holds across the batch boundary.
+        assert q.pop() is batch[1]  # t=0.5
+        assert [q.pop() for _ in range(3)] == [before, batch[0], after]
+
+    def test_push_many_empty_batch(self):
+        q = EventQueue()
+        assert q.push_many([]) == []
+        assert len(q) == 0
+
 
 class TestSimulator:
     def test_clock_starts_at_zero(self, sim):
@@ -156,3 +189,57 @@ class TestSimulator:
         sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.events_executed == 2
+
+    def test_schedule_at_exactly_now_runs(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule_at(sim.now, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [1.0]
+
+    def test_max_events_with_until_still_advances_clock(self, sim):
+        # The budget stops event execution, but a supplied `until` still
+        # pins the final clock — the run models a fixed wall-clock window.
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run(until=10.0, max_events=2) == 10.0
+        assert sim.events_executed == 2
+        assert sim.pending() == 3
+
+    def test_until_before_remaining_events_leaves_them_pending(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run(until=1.5, max_events=10)
+        assert fired == [1]
+        assert sim.pending() == 1
+
+    def test_schedule_many_preserves_fifo_with_schedule(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule_many(
+            [
+                (1.0, lambda: order.append("b"), "b"),
+                (1.0, lambda: order.append("c"), "c"),
+                (0.5, lambda: order.append("first"), "first"),
+            ]
+        )
+        sim.schedule(1.0, lambda: order.append("d"))
+        sim.run()
+        assert order == ["first", "a", "b", "c", "d"]
+
+    def test_schedule_many_rejects_negative_delay_atomically(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_many(
+                [(1.0, lambda: None, ""), (-0.5, lambda: None, "")]
+            )
+        # Validation happens before any push: nothing was scheduled.
+        assert sim.pending() == 0
+
+    def test_schedule_many_events_are_cancellable(self, sim):
+        fired = []
+        events = sim.schedule_many(
+            [(1.0, lambda: fired.append(1), ""), (2.0, lambda: fired.append(2), "")]
+        )
+        sim.cancel(events[0])
+        sim.run()
+        assert fired == [2]
