@@ -209,3 +209,91 @@ def test_packet_to_bytes_after_invalidation(benchmark):
 
     raw = benchmark(mutate_and_pack)
     assert len(raw) == packet.size_bytes
+
+
+def test_small_scenario_invariants_enabled(benchmark):
+    """The 8-second scenario with periodic invariant sweeps turned on.
+
+    Not gated (checking is allowed to cost something when requested);
+    tracked in the M1 JSON so the sweep price stays visible over time.
+    """
+    from repro.harness.scenario import ScenarioConfig, run_scenario
+    from repro.workload.profiles import WorkloadConfig
+
+    config = ScenarioConfig(
+        topology="single",
+        topology_params={"n_clients": 2, "n_attackers": 1},
+        duration_s=8.0,
+        defense="spi",
+        workload=WorkloadConfig(attack_rate_pps=200, attack_start_s=2.0),
+        check_invariants=True,
+    )
+    result = benchmark.pedantic(run_scenario, args=(config,), rounds=3, iterations=1)
+    assert result.spi.stats.confirmed == 1
+    assert result.invariants is not None and result.invariants.checks_run > 0
+
+
+def test_connection_factory_indirection(benchmark):
+    """Connection creation through the swappable ``connection_class`` hook."""
+    from repro.topology import single_switch
+
+    net, _ = single_switch(n_clients=1, n_attackers=0)
+    stack = next(iter(net.stacks.values()))
+
+    def create_and_forget():
+        conn = stack.create_connection(40000, "10.9.9.9", 80)
+        stack.forget(conn)
+        return conn
+
+    assert benchmark(create_and_forget) is not None
+
+
+def test_invariants_disabled_overhead_under_2pct():
+    """Guard: the invariant subsystem must cost <2% when not requested.
+
+    The only hot-path residue of a disabled run is the
+    ``TcpStack.connection_class`` attribute indirection inside
+    ``create_connection``.  Compare it against an equivalent factory that
+    hard-codes ``Connection`` (the pre-subsystem body) with interleaved
+    min-of-repeats timings, which are stable well below the 2% bound.
+    """
+    import timeit
+
+    from repro.tcp.socket import Connection
+    from repro.tcp.stack import TcpStack
+    from repro.topology import single_switch
+
+    def _direct_create(stack, local_port, remote_ip, remote_port):
+        conn = Connection(
+            stack=stack,
+            local_port=local_port,
+            remote_ip=remote_ip,
+            remote_port=remote_port,
+            iss=stack.rng.randint(0, 0xFFFFFFFF),
+            listener=None,
+        )
+        stack.connections[conn.key] = conn
+        return conn
+
+    net, _ = single_switch(n_clients=1, n_attackers=0)
+    stack = next(iter(net.stacks.values()))
+    assert stack.connection_class is Connection  # disabled mode
+    assert TcpStack.connection_class is Connection
+
+    def via_hook():
+        stack.forget(stack.create_connection(41000, "10.9.9.9", 80))
+
+    def hardcoded():
+        stack.forget(_direct_create(stack, 41000, "10.9.9.9", 80))
+
+    n = 2000
+    hook_times, direct_times = [], []
+    for _ in range(7):  # interleave so drift hits both sides equally
+        hook_times.append(timeit.timeit(via_hook, number=n))
+        direct_times.append(timeit.timeit(hardcoded, number=n))
+    ratio = min(hook_times) / min(direct_times)
+    assert ratio < 1.02, (
+        f"disabled-mode invariant hook overhead {ratio - 1:.2%} exceeds 2% "
+        f"(hook {min(hook_times) / n * 1e6:.3f}us vs "
+        f"direct {min(direct_times) / n * 1e6:.3f}us)"
+    )

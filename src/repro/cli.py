@@ -5,11 +5,17 @@ Three subcommands::
     python -m repro list                      # topologies, defenses, detectors, experiments
     python -m repro run --topology dumbbell --defense spi --rate 400
     python -m repro experiment e1 [--quick] [--markdown] [--workers N]
+    python -m repro check [--seeds 25] [--parallel-oracle]
 
 ``run`` executes a single scenario and prints the detection timeline and
 service summary; ``experiment`` regenerates one of the evaluation tables
 (E1-E7 plus the extension experiments), fanning its scenario runs over
-``--workers`` processes (default: one per CPU).
+``--workers`` processes (default: one per CPU); ``check`` runs the
+differential fuzzer from :mod:`repro.harness.fuzzer`, asserting that
+every seeded scenario produces byte-identical metrics on the optimized
+and reference implementations with runtime invariant checking enabled.
+``run`` and ``experiment`` both accept ``--check-invariants`` to enable
+the :mod:`repro.sim.invariants` sweeps during normal runs.
 """
 
 from __future__ import annotations
@@ -68,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--link-loss", type=float, default=0.0,
                      help="random per-packet loss probability on every link")
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--check-invariants", action="store_true",
+                     help="run periodic runtime invariant sweeps; violations "
+                          "abort the run with a counterexample trace")
     run.add_argument("--json", action="store_true", help="machine-readable output")
     run.add_argument("--save", metavar="PATH",
                      help="write the assembled scenario config as JSON and exit")
@@ -84,6 +93,25 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--workers", type=int, default=None, metavar="N",
                             help="worker processes for the scenario fan-out "
                                  "(default: one per CPU; 1 forces serial)")
+    experiment.add_argument("--check-invariants", action="store_true",
+                            help="run every scenario with runtime invariant "
+                                 "sweeps enabled (slower; violations abort)")
+
+    check = sub.add_parser(
+        "check",
+        help="differential fuzzer: optimized vs reference implementations",
+    )
+    check.add_argument("--seeds", type=int, default=25, metavar="N",
+                       help="number of fuzz seeds to run (default: 25)")
+    check.add_argument("--base-seed", type=int, default=0, metavar="S",
+                       help="first seed of the range (default: 0)")
+    check.add_argument("--parallel-oracle", action="store_true",
+                       help="additionally recompute every optimized run "
+                            "through the process-pool harness and compare")
+    check.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker count for the parallel oracle (default: 2)")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable per-seed report")
     return parser
 
 
@@ -110,6 +138,7 @@ def _command_run(args: argparse.Namespace) -> int:
             with_attack=not args.no_attack,
             syn_cookies=args.syn_cookies,
             link_loss_probability=args.link_loss,
+            check_invariants=args.check_invariants,
             workload=WorkloadConfig(
                 attack_rate_pps=args.rate, attack_start_s=args.attack_start
             ),
@@ -153,12 +182,50 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
+    if args.check_invariants:
+        from repro.harness.scenario import force_check_invariants
+
+        force_check_invariants()
     fn = ALL_EXPERIMENTS[args.name]
     kwargs = dict(QUICK_ARGS.get(args.name, {})) if args.quick else {}
     kwargs["workers"] = args.workers
     table = fn(**kwargs)
     print(table.to_markdown() if args.markdown else table.to_text())
     return 0
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    from repro.harness.fuzzer import describe_outcome, run_fuzz_suite
+
+    report = run_fuzz_suite(
+        n_seeds=args.seeds,
+        base_seed=args.base_seed,
+        parallel_oracle=args.parallel_oracle,
+        workers=args.workers,
+        progress=None if args.json else lambda o: print(describe_outcome(o)),
+    )
+    failed = [o for o in report.outcomes if not o.matched]
+    if args.json:
+        print(json.dumps({
+            "seeds": args.seeds,
+            "base_seed": args.base_seed,
+            "failures": [
+                {"seed": o.seed, "detail": o.detail} for o in failed
+            ],
+            "parallel_oracle": report.parallel_matched,
+            "passed": report.passed,
+        }, indent=2))
+    else:
+        verdict = "PASS" if report.passed else "FAIL"
+        oracle = (
+            "" if report.parallel_matched is None
+            else f", parallel oracle {'ok' if report.parallel_matched else 'MISMATCH'}"
+        )
+        print(
+            f"{verdict}: {len(report.outcomes) - len(failed)}/"
+            f"{len(report.outcomes)} seeds byte-identical{oracle}"
+        )
+    return 0 if report.passed else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -170,6 +237,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "check":
+        return _command_check(args)
     return 2
 
 

@@ -612,11 +612,15 @@ def run_e7_window_ablation(
     return table
 
 
-def _e7c_point(budget: int, n_victims: int, seed: int) -> dict[str, Any]:
+def _e7c_point(
+    budget: int, n_victims: int, seed: int, check_invariants: bool = False
+) -> dict[str, Any]:
     """One E7c cell: several victims flooded at once under a shared budget.
 
     Builds its network directly (no ScenarioConfig covers multi-victim
-    floods), so it rides the generic :func:`run_tasks` layer.
+    floods), so it rides the generic :func:`run_tasks` layer and wires
+    its own invariant harness when asked (the run_scenario path does
+    this from the config flag).
     """
     from repro.core.spi import SpiSystem
     from repro.monitor.detectors import EwmaDetector
@@ -657,9 +661,19 @@ def _e7c_point(budget: int, n_victims: int, seed: int) -> dict[str, Any]:
         )
         attacker.start()
         attackers.append(attacker)
+    invariants = None
+    if check_invariants:
+        from repro.sim.invariants import InvariantHarness
+
+        invariants = InvariantHarness.for_network(
+            net, monitors=spi.monitors.values(), spi=spi
+        )
+        invariants.start()
     net.run(until=40.0)
     spi.stop()
     net.stop()
+    if invariants is not None:
+        invariants.final_check()
     # First mitigation per victim only: rules expire and re-install
     # for persistent floods, which is not the quantity under test.
     first_by_victim: dict[str, float] = {}
@@ -689,8 +703,15 @@ def run_e7_budget_ablation(
         "E7c: inspection budget ablation",
         ["budget", "victims", "worst_t_mitigate_s", "mean_t_mitigate_s", "queued"],
     )
+    from repro.harness.scenario import check_invariants_forced
+
     tasks = [
-        {"budget": budget, "n_victims": n_victims, "seed": seed}
+        {
+            "budget": budget,
+            "n_victims": n_victims,
+            "seed": seed,
+            "check_invariants": check_invariants_forced(),
+        }
         for budget in budgets
     ]
     rows = run_tasks(_e7c_point, tasks, workers=workers)

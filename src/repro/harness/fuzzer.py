@@ -1,0 +1,305 @@
+"""Deterministic scenario fuzzer and differential oracle.
+
+The optimized fast paths (microflow cache, tuple-heap event loop,
+process-pool fan-out) must be *strategy-invisible*: running the same
+seeded scenario on the reference event loop, with the cache disabled, or
+across a different worker count has to yield byte-identical metrics.
+This module generates randomized-but-seeded scenarios (topology,
+workload, attack mix, defense) and asserts exactly that:
+
+* ``generate_scenario(seed)`` — a deterministic scenario drawn from a
+  seeded RNG, with invariant checking enabled;
+* ``run_differential(seed)`` — the scenario run twice, optimized vs
+  reference (:mod:`repro.sim.engine_reference` + linear-scan-only flow
+  tables), compared as canonical JSON;
+* ``run_fuzz_suite(...)`` — the CI entry point behind ``repro check``,
+  optionally adding the serial-vs-parallel harness oracle.
+
+The fingerprint intentionally covers every counter the metrics layer
+reads (detections, service quality, switch/link/stack/DPI counters,
+trace categories, the event count itself) and excludes only the
+``microflow_*`` counters, which legitimately differ when the cache is
+off.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional
+
+from repro.harness.scenario import (
+    FlashCrowdSpec,
+    ScenarioConfig,
+    ScenarioResult,
+    run_scenario,
+)
+from repro.sim.invariants import InvariantViolation
+from repro.workload.profiles import WorkloadConfig
+
+__all__ = [
+    "generate_scenario",
+    "reference_variant",
+    "fingerprint",
+    "fingerprint_json",
+    "run_differential",
+    "run_fuzz_suite",
+    "DifferentialOutcome",
+    "FuzzSuiteReport",
+]
+
+#: Seed-space offset so fuzz seeds do not collide with experiment seeds.
+_SEED_SALT = 0x5B1
+
+
+def generate_scenario(seed: int) -> ScenarioConfig:
+    """One deterministic randomized scenario; same seed, same scenario."""
+    rng = random.Random(seed + _SEED_SALT)
+    topology = rng.choice(("single", "dumbbell", "star", "linear"))
+    if topology == "single":
+        params: dict[str, Any] = {
+            "n_clients": rng.randint(2, 4), "n_attackers": rng.randint(1, 2)
+        }
+    elif topology == "dumbbell":
+        params = {"n_clients": rng.randint(2, 4), "n_attackers": rng.randint(1, 2)}
+    elif topology == "star":
+        params = {
+            "n_arms": rng.randint(2, 3),
+            "clients_per_arm": rng.randint(1, 2),
+            "n_attackers": rng.randint(1, 2),
+        }
+    else:
+        params = {
+            "n_switches": rng.randint(2, 3),
+            "clients_per_switch": 1,
+            "n_attackers": rng.randint(1, 2),
+        }
+    attack_kind = rng.choice(("syn", "syn", "syn", "udp"))
+    detector = (
+        "udp-rate" if attack_kind == "udp"
+        else rng.choice(("ewma", "static", "cusum", "entropy"))
+    )
+    workload = WorkloadConfig(
+        attack_kind=attack_kind,
+        attack_rate_pps=float(rng.choice((150, 300, 500))),
+        attack_start_s=rng.choice((2.0, 3.0)),
+        attack_duration_s=1000.0,
+        server_backlog=rng.choice((64, 128)),
+        spoof=rng.random() < 0.8,
+    )
+    flash_crowd = None
+    if rng.random() < 0.2:
+        flash_crowd = FlashCrowdSpec(
+            start_s=4.0, duration_s=3.0, connections_per_second=60.0
+        )
+    return ScenarioConfig(
+        topology=topology,
+        topology_params=params,
+        seed=rng.randint(1, 10_000),
+        duration_s=float(rng.choice((6, 8, 10))),
+        defense=rng.choice(
+            ("spi", "spi", "monitor-only", "always-on", "sampled", "flow-stats", "none")
+        ),
+        detector=detector,
+        workload=workload,
+        with_attack=rng.random() < 0.9,
+        link_loss_probability=rng.choice((0.0, 0.0, 0.0, 0.02)),
+        syn_cookies=rng.random() < 0.25,
+        flash_crowd=flash_crowd,
+        check_invariants=True,
+    )
+
+
+def reference_variant(config: ScenarioConfig) -> ScenarioConfig:
+    """The same scenario forced down every reference implementation."""
+    return replace(config, engine="reference", microflow_cache=False)
+
+
+def fingerprint(result: ScenarioResult) -> dict[str, Any]:
+    """Every strategy-invariant metric of a finished run, as plain data."""
+    net = result.net
+    switches = {}
+    for name, switch in sorted(net.switches.items()):
+        counters = dict(vars(switch.counters))
+        stats = switch.table.stats()
+        # microflow_* counters legitimately differ with the cache off;
+        # everything else must not.
+        switches[name] = {
+            **counters,
+            "table_entries": stats.entry_count,
+            "lookups": stats.lookups,
+            "hits": stats.hits,
+            "misses": stats.misses,
+        }
+    links = []
+    for link in net.links:
+        for iface in (link.a, link.b):
+            stats = link.stats_for(iface)
+            links.append({
+                "from": f"{iface.node.name}:{iface.port_no}",
+                "sent": stats.packets_sent,
+                "bytes": stats.bytes_sent,
+                "queue_drops": stats.packets_dropped,
+                "delivered": stats.packets_delivered,
+                "lost": stats.packets_lost,
+            })
+    stacks = {
+        name: dict(vars(stack.counters))
+        for name, stack in sorted(net.stacks.items())
+    }
+    data: dict[str, Any] = {
+        "detections": result.detection_times(),
+        "alerts": result.alert_times(),
+        "success_rate": result.success_rate(),
+        "mean_latency": result.mean_latency(),
+        "attack_packets": result.workload.attack_packets_sent(),
+        "inspected_fraction": result.inspected_fraction(),
+        "buffer_evictions": result.buffer_evictions(),
+        "switches": switches,
+        "links": sorted(links, key=lambda row: row["from"]),
+        "stacks": stacks,
+        "trace_categories": dict(
+            sorted(Counter(e.category for e in net.tracer.entries()).items())
+        ),
+        "events_executed": net.sim.events_executed,
+        "final_time": net.sim.now,
+        "invariant_sweeps": (
+            result.invariants.checks_run if result.invariants else 0
+        ),
+    }
+    if result.spi is not None:
+        data["spi"] = dict(vars(result.spi.stats))
+        if result.spi.dpi is not None:
+            data["dpi"] = dict(vars(result.spi.dpi.stats))
+    if result.tap_dpi is not None:
+        data["tap_dpi"] = dict(vars(result.tap_dpi.stats))
+    return data
+
+
+def fingerprint_json(result: ScenarioResult) -> str:
+    """Canonical (sorted, byte-comparable) form of :func:`fingerprint`."""
+    return json.dumps(fingerprint(result), sort_keys=True)
+
+
+# Module-level so the parallel oracle can pickle it by reference.
+def _fingerprint_worker(config_data: dict[str, Any]) -> str:
+    from repro.harness.serialize import config_from_dict
+
+    return fingerprint_json(run_scenario(config_from_dict(config_data)))
+
+
+@dataclass(frozen=True)
+class DifferentialOutcome:
+    """Result of one seed's optimized-vs-reference comparison."""
+
+    seed: int
+    config: ScenarioConfig
+    matched: bool
+    detail: str = ""
+    optimized: str = ""
+    reference: str = ""
+
+
+@dataclass(frozen=True)
+class FuzzSuiteReport:
+    """Aggregate of a fuzz run (what ``repro check`` prints)."""
+
+    outcomes: tuple[DifferentialOutcome, ...]
+    parallel_matched: Optional[bool] = None
+
+    @property
+    def passed(self) -> bool:
+        """True when every oracle agreed and no invariant fired."""
+        return all(o.matched for o in self.outcomes) and (
+            self.parallel_matched is not False
+        )
+
+
+def _diff_summary(a: str, b: str) -> str:
+    """First divergent top-level key between two fingerprint JSONs."""
+    da, db = json.loads(a), json.loads(b)
+    for key in sorted(set(da) | set(db)):
+        if da.get(key) != db.get(key):
+            return f"first divergence at {key!r}: {da.get(key)!r} != {db.get(key)!r}"
+    return "fingerprints differ only in formatting"
+
+
+def run_differential(seed: int) -> DifferentialOutcome:
+    """Run one generated scenario on both engines and compare."""
+    config = generate_scenario(seed)
+    try:
+        optimized = fingerprint_json(run_scenario(config))
+        reference = fingerprint_json(run_scenario(reference_variant(config)))
+    except InvariantViolation as violation:
+        return DifferentialOutcome(
+            seed=seed, config=config, matched=False,
+            detail=f"invariant violation: {violation}",
+        )
+    if optimized == reference:
+        return DifferentialOutcome(
+            seed=seed, config=config, matched=True,
+            optimized=optimized, reference=reference,
+        )
+    return DifferentialOutcome(
+        seed=seed, config=config, matched=False,
+        detail=_diff_summary(optimized, reference),
+        optimized=optimized, reference=reference,
+    )
+
+
+def run_fuzz_suite(
+    n_seeds: int = 25,
+    base_seed: int = 0,
+    parallel_oracle: bool = False,
+    workers: int = 2,
+    progress: Optional[Callable[[DifferentialOutcome], None]] = None,
+) -> FuzzSuiteReport:
+    """The full differential sweep: ``n_seeds`` scenarios, two engines each.
+
+    With ``parallel_oracle`` the optimized fingerprints are additionally
+    recomputed through the spawn-pool harness (``workers`` processes,
+    configs shipped via :mod:`repro.harness.serialize`) and must match
+    the in-process results byte for byte.
+    """
+    seeds = range(base_seed, base_seed + n_seeds)
+    outcomes: list[DifferentialOutcome] = []
+    for seed in seeds:
+        outcome = run_differential(seed)
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    parallel_matched: Optional[bool] = None
+    if parallel_oracle and outcomes:
+        from repro.harness.parallel import run_tasks
+        from repro.harness.serialize import config_to_dict
+
+        tasks = [
+            {"config_data": config_to_dict(outcome.config)} for outcome in outcomes
+        ]
+        pooled = run_tasks(_fingerprint_worker, tasks, workers=workers)
+        parallel_matched = all(
+            outcome.optimized == "" or outcome.optimized == fp
+            for outcome, fp in zip(outcomes, pooled)
+        )
+    return FuzzSuiteReport(
+        outcomes=tuple(outcomes), parallel_matched=parallel_matched
+    )
+
+
+def describe_outcome(outcome: DifferentialOutcome) -> str:
+    """One log line per seed (used by ``repro check``)."""
+    config = outcome.config
+    shape = (
+        f"{config.topology}/{config.defense}/{config.detector}"
+        f" kind={config.workload.attack_kind}"
+        f" rate={config.workload.attack_rate_pps:g}"
+        f" loss={config.link_loss_probability:g}"
+        f" engine-pair seed={outcome.seed}"
+    )
+    status = "ok " if outcome.matched else "FAIL"
+    line = f"{status} {shape}"
+    if not outcome.matched and outcome.detail:
+        line += f"\n     {outcome.detail}"
+    return line

@@ -33,7 +33,12 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Optional, Sequence
 
-from repro.harness.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.harness.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    effective_config,
+    run_scenario,
+)
 from repro.harness.serialize import config_from_dict, config_to_dict
 
 __all__ = ["resolve_workers", "run_tasks", "run_scenarios", "shutdown_pool"]
@@ -168,7 +173,13 @@ def run_scenarios(
     """
     from repro.harness.sweep import apply_overrides
 
-    configs = [apply_overrides(base, point) if point else base for point in points]
+    # Stamp the process-wide --check-invariants override onto each config
+    # *before* transport: spawn workers import a fresh module where the
+    # override is at its default, so only the config carries it across.
+    configs = [
+        effective_config(apply_overrides(base, point) if point else base)
+        for point in points
+    ]
     if extract is None or resolve_workers(workers) <= 1 or len(configs) <= 1:
         results = [run_scenario(config) for config in configs]
         if extract is None:

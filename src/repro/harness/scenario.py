@@ -40,6 +40,33 @@ TOPOLOGIES = {
 
 DEFENSES = ("spi", "monitor-only", "always-on", "sampled", "flow-stats", "none")
 
+ENGINES = ("optimized", "reference")
+
+# Process-wide override set by ``repro experiment --check-invariants``:
+# experiment runners build their own configs, so the flag is applied to
+# every config that reaches run_scenario (serial path) or the worker
+# transport (see harness.parallel, which stamps configs before pickling
+# because spawn workers start with this flag at its default).
+_FORCE_CHECK_INVARIANTS = False
+
+
+def force_check_invariants(enabled: bool = True) -> None:
+    """Turn invariant checking on for every subsequently built scenario."""
+    global _FORCE_CHECK_INVARIANTS
+    _FORCE_CHECK_INVARIANTS = enabled
+
+
+def check_invariants_forced() -> bool:
+    """Whether the process-wide invariant override is active."""
+    return _FORCE_CHECK_INVARIANTS
+
+
+def effective_config(config: "ScenarioConfig") -> "ScenarioConfig":
+    """Apply the process-wide invariant override to one config."""
+    if _FORCE_CHECK_INVARIANTS and not config.check_invariants:
+        return replace(config, check_invariants=True)
+    return config
+
 
 @dataclass(frozen=True)
 class FlashCrowdSpec:
@@ -81,6 +108,15 @@ class ScenarioConfig:
     # Attach a time-series probe (figure generation); see harness.probe.
     probe: bool = False
     probe_period_s: float = 0.5
+    # Runtime invariant checking (repro.sim.invariants): periodic sweeps
+    # during the run plus a final sweep; violations raise.
+    check_invariants: bool = False
+    invariant_period_s: float = 0.5
+    # Execution-strategy knobs the differential oracle flips: the event
+    # loop implementation and the flow-table microflow cache.  Neither
+    # may change any metric; repro check verifies exactly that.
+    engine: str = "optimized"
+    microflow_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -91,6 +127,10 @@ class ScenarioConfig:
             raise ValueError(f"unknown defense {self.defense!r}; choose from {DEFENSES}")
         if self.duration_s <= 0:
             raise ValueError("duration must be positive")
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        if self.invariant_period_s <= 0:
+            raise ValueError("invariant period must be positive")
 
 
 @dataclass
@@ -107,6 +147,7 @@ class ScenarioResult:
     flow_stats: Optional[FlowStatsDefense] = None
     flash_crowd: Optional[FlashCrowd] = None
     probe: Optional["ScenarioProbe"] = None
+    invariants: Optional["InvariantHarness"] = None
 
     # ------------------------------------------------------------ service
 
@@ -211,8 +252,13 @@ def _default_edge(net: Network, roles: Roles) -> str:
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Build, run and wrap one scenario."""
+    config = effective_config(config)
     build = TOPOLOGIES[config.topology]
     extra: dict[str, Any] = {}
+    if config.engine != "optimized":
+        extra["engine"] = config.engine
+    if not config.microflow_cache:
+        extra["microflow_enabled"] = False
     if config.link_loss_probability > 0:
         from repro.topology.builder import LinkSpec
 
@@ -312,6 +358,22 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
 
         result.probe = ScenarioProbe(net, workload, period_s=config.probe_period_s)
 
+    if config.check_invariants:
+        from repro.sim.invariants import InvariantHarness
+
+        monitors = []
+        if result.spi is not None:
+            monitors.extend(result.spi.monitors.values())
+        if result.monitor_only is not None:
+            monitors.extend(result.monitor_only.monitors.values())
+        result.invariants = InvariantHarness.for_network(
+            net,
+            period_s=config.invariant_period_s,
+            monitors=monitors,
+            spi=result.spi,
+        )
+        result.invariants.start()
+
     workload.start(with_attack=config.with_attack)
     net.run(until=config.duration_s)
     workload.stop()
@@ -326,4 +388,6 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     if result.flow_stats is not None:
         result.flow_stats.stop()
     net.stop()
+    if result.invariants is not None:
+        result.invariants.final_check()
     return result

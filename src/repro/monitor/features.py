@@ -73,6 +73,9 @@ class FeatureExtractor:
             raise ValueError("sampling probability must be in (0, 1]")
         self.sampling_probability = sampling_probability
         self._scale = 1.0 / sampling_probability
+        # Raw (unscaled) packets fed in; ties the extractor to the tap's
+        # sampled count in the monitor-accounting invariant.
+        self.packets_observed = 0
         self._counts = TumblingAccumulator()
         self._sources = EntropyAccumulator()
         self._dst_syns = TumblingAccumulator()
@@ -86,6 +89,7 @@ class FeatureExtractor:
         monitor's switch tap) already has it; addresses are then read
         from the shared key instead of re-derived from the headers.
         """
+        self.packets_observed += 1
         self._counts.add("total")
         if packet.ip is None:
             return

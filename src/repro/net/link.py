@@ -30,6 +30,11 @@ class LinkStats:
     packets_dropped: int = 0
     packets_delivered: int = 0
     packets_lost: int = 0  # random on-wire loss (loss_probability)
+    packets_unrouted: int = 0  # serialized with no peer attached
+    # Serializing or propagating right now; packets_sent always equals
+    # delivered + lost + unrouted + in_flight (the conservation identity
+    # repro.sim.invariants checks).
+    packets_in_flight: int = 0
 
     def drop_rate(self) -> float:
         """Fraction of offered packets dropped at this endpoint's queue."""
@@ -109,6 +114,7 @@ class LinkEnd:
         tx_time = self.transmission_time(packet)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size_bytes
+        self.stats.packets_in_flight += 1
         return (tx_time, lambda p=packet: self._finish(p), "link.tx")
 
     def _finish(self, packet: Packet) -> None:
@@ -122,10 +128,14 @@ class LinkEnd:
             and self._rng.random() < self._loss_probability
         ):
             self.stats.packets_lost += 1
+            self.stats.packets_in_flight -= 1
         elif self._peer is not None:
             batch.append(
                 (self._delay_s, lambda p=packet: self._deliver(p), "link.propagate")
             )
+        else:
+            self.stats.packets_unrouted += 1
+            self.stats.packets_in_flight -= 1
         entry = self._next_tx()
         if entry is not None:
             batch.append(entry)
@@ -136,6 +146,7 @@ class LinkEnd:
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.packets_delivered += 1
+        self.stats.packets_in_flight -= 1
         assert self._peer is not None
         self._peer.deliver(packet)
 

@@ -139,6 +139,36 @@ class FlowTable:
         """Entries currently cached."""
         return len(self._microflow)
 
+    @property
+    def microflow_enabled(self) -> bool:
+        """Whether the exact-match cache fronts the classifier."""
+        return self._microflow_enabled
+
+    @property
+    def microflow_capacity(self) -> int:
+        """LRU bound on cached verdicts."""
+        return self._microflow_capacity
+
+    def classify_fresh(self, key: FlowKey) -> Optional[FlowEntry]:
+        """Run the linear classifier scan only: no counters, no cache.
+
+        The coherence oracle in :mod:`repro.sim.invariants` compares every
+        cached microflow verdict against this, so it must stay free of
+        side effects.
+        """
+        return self._classify(key)
+
+    def microflow_snapshot(self) -> list[tuple[FlowKey, Optional[FlowEntry]]]:
+        """Current cached verdicts as ``(key, entry-or-None)`` pairs.
+
+        ``None`` stands for a cached table miss.  LRU order is preserved
+        but not touched (snapshotting must not perturb eviction).
+        """
+        return [
+            (key, None if value is _MISS else value)  # type: ignore[misc]
+            for key, value in self._microflow.items()
+        ]
+
     def stats(self) -> TableStats:
         """Snapshot of lookup/cache counters for stats replies and reports."""
         return TableStats(

@@ -1,0 +1,172 @@
+"""The pre-overhaul discrete-event loop, kept as a differential oracle.
+
+This is the engine as it stood before the tuple-heap rewrite in
+:mod:`repro.sim.engine`: events are rich-comparison dataclasses ordered
+on ``(time, seq)``, the heap stores the events themselves, and the run
+loop goes through the queue's ``peek_time``/``pop`` methods.  It is
+deliberately *not* optimized — its value is that it reaches the same
+schedule through an independent implementation, so the scenario fuzzer
+(:mod:`repro.harness.fuzzer`) can run every generated scenario on both
+engines and assert byte-identical metrics.
+
+Semantics intentionally match the optimized engine exactly:
+
+* FIFO tie-breaking by monotonically increasing sequence number;
+* ``schedule_many`` assigns sequence numbers in iteration order, so a
+  batch behaves like the equivalent series of ``schedule`` calls;
+* a non-positive ``max_events`` budget executes exactly one event;
+* ``run(until=...)`` leaves the clock at ``until`` when the queue goes
+  quiet early.
+
+Any behavioral edit here must be mirrored in ``repro.sim.engine`` (and
+vice versa) — the differential tests fail loudly if they drift.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.sim.engine import SimulationError
+
+
+@dataclass(order=True)
+class ReferenceEvent:
+    """A single scheduled callback, ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when it is popped."""
+        self.cancelled = True
+
+
+class ReferenceEventQueue:
+    """A cancellable min-heap of :class:`ReferenceEvent` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[ReferenceEvent] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self, time: float, fn: Callable[[], None], label: str = ""
+    ) -> ReferenceEvent:
+        """Insert a callback at absolute ``time`` and return its handle."""
+        event = ReferenceEvent(time=time, seq=self._seq, fn=fn, label=label)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> ReferenceEvent | None:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the time of the earliest non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Account for an event cancelled via its handle."""
+        self._live -= 1
+
+
+class ReferenceSimulator:
+    """Drop-in :class:`repro.sim.engine.Simulator` with the straight loop."""
+
+    def __init__(self) -> None:
+        self._queue = ReferenceEventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, fn: Callable[[], None], label: str = ""
+    ) -> ReferenceEvent:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        return self._queue.push(self._now + delay, fn, label)
+
+    def schedule_many(
+        self, items: Sequence[tuple[float, Callable[[], None], str]]
+    ) -> list[ReferenceEvent]:
+        """Schedule a batch of ``(delay, fn, label)`` entries in order."""
+        for delay, _fn, _label in items:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        return [self._queue.push(self._now + delay, fn, label)
+                for delay, fn, label in items]
+
+    def schedule_at(
+        self, time: float, fn: Callable[[], None], label: str = ""
+    ) -> ReferenceEvent:
+        """Schedule ``fn`` at absolute simulated ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, clock already at {self._now!r}"
+            )
+        return self._queue.push(time, fn, label)
+
+    def cancel(self, event: ReferenceEvent) -> None:
+        """Cancel a pending event; cancelling twice is a no-op."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute events in time order; see the optimized engine's docs."""
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                event.fn()
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False

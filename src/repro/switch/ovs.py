@@ -108,10 +108,11 @@ class OpenFlowSwitch(Node):
         costs: WorkloadCosts | None = None,
         buffer_slots: int = 256,
         expiry_period: float = 0.25,
+        microflow_enabled: bool = True,
     ) -> None:
         super().__init__(sim, name)
         self.datapath_id = datapath_id
-        self.table = FlowTable()
+        self.table = FlowTable(microflow_enabled=microflow_enabled)
         self.channel: Optional[ControlChannel] = None
         self.workload = WorkloadMeter(costs)
         self.counters = SwitchCounters()

@@ -42,6 +42,11 @@ class StackCounters:
 class TcpStack:
     """TCP endpoint logic for one host."""
 
+    #: Factory used by :meth:`create_connection`.  The invariant harness
+    #: swaps in a state-machine-checked subclass per stack instance; the
+    #: default path pays only this one attribute indirection.
+    connection_class: type[Connection] = Connection
+
     def __init__(self, host: Host, rng: SeededRng, config: TcpConfig | None = None) -> None:
         self.host = host
         self.sim = host.sim
@@ -94,7 +99,7 @@ class TcpStack:
         listener: Optional[ListeningSocket] = None,
     ) -> Connection:
         """Instantiate and register a connection object."""
-        conn = Connection(
+        conn = self.connection_class(
             stack=self,
             local_port=local_port,
             remote_ip=remote_ip,

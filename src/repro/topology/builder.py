@@ -47,8 +47,24 @@ class Network:
         control_latency_s: float = 0.002,
         tcp_config: TcpConfig | None = None,
         switch_costs: WorkloadCosts | None = None,
+        engine: str = "optimized",
+        microflow_enabled: bool = True,
     ) -> None:
-        self.sim = Simulator()
+        # "optimized" is the tuple-heap engine from repro.sim.engine;
+        # "reference" is the pre-overhaul loop kept as a differential
+        # oracle (identical semantics, independent implementation).
+        if engine == "optimized":
+            self.sim = Simulator()
+        elif engine == "reference":
+            from repro.sim.engine_reference import ReferenceSimulator
+
+            self.sim = ReferenceSimulator()
+        else:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'optimized' or 'reference'"
+            )
+        self.engine = engine
+        self.microflow_enabled = microflow_enabled
         self.rng = SeededRng(seed)
         self.tracer = Tracer(lambda: self.sim.now)
         self.default_link = default_link or LinkSpec()
@@ -77,7 +93,10 @@ class Network:
         name = name or f"s{dpid}"
         if name in self.switches or name in self.hosts:
             raise ValueError(f"duplicate node name {name!r}")
-        switch = OpenFlowSwitch(self.sim, name, dpid, costs=self.switch_costs)
+        switch = OpenFlowSwitch(
+            self.sim, name, dpid, costs=self.switch_costs,
+            microflow_enabled=self.microflow_enabled,
+        )
         channel = ControlChannel(self.sim, latency_s=self.control_latency_s)
         channel.connect(switch, self.controller)
         switch.connect_controller(channel)

@@ -1,0 +1,40 @@
+"""Golden-table regression tests for the evaluation experiments.
+
+E2 (detection accuracy) and E3 (inspection workload) are regenerated at
+full parameters and compared byte-for-byte against the CSVs committed
+under ``benchmarks/results/`` — the exact artifacts the paper tables are
+built from.  Run at ``workers=1`` and ``workers=2`` so any drift in the
+simulation *or* any nondeterminism in the process-pool fan-out turns the
+build red.  If a change intentionally moves the numbers, regenerate the
+goldens with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_e2_accuracy.py \
+        benchmarks/bench_e3_workload.py -q
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import run_e2_accuracy, run_e3_workload
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def golden(name: str) -> str:
+    path = GOLDEN_DIR / name
+    assert path.exists(), f"missing golden table {path}"
+    return path.read_text()
+
+
+@pytest.mark.parametrize("workers", [1, 2], ids=["serial", "pool"])
+class TestGoldenTables:
+    def test_e2_accuracy_matches_committed_csv(self, workers):
+        table = run_e2_accuracy(workers=workers)
+        assert table.to_csv() == golden("e2_accuracy.csv")
+
+    def test_e3_workload_matches_committed_csv(self, workers):
+        table = run_e3_workload(workers=workers)
+        assert table.to_csv() == golden("e3_workload.csv")

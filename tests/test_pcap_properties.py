@@ -1,0 +1,162 @@
+"""Property-based round-trip tests for pcap export.
+
+Hypothesis generates arbitrary TCP/UDP/ICMP frames and timestamps,
+writes them through :class:`PcapWriter`, and asserts `read_pcap` +
+`parse_packet` reconstruct exactly what went in.  A second suite cuts
+valid capture files at every possible byte offset and checks the reader
+either returns a clean prefix of the original records or raises the
+specific truncation ``ValueError`` — never garbage, never an
+out-of-bounds read.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.headers import IcmpHeader, TcpHeader, UdpHeader
+from repro.net.packet import Packet, parse_packet
+from repro.net.pcap import PcapWriter, read_pcap
+
+ports = st.integers(min_value=0, max_value=65535)
+payloads = st.binary(max_size=120)
+
+
+@st.composite
+def macs(draw):
+    value = draw(st.integers(min_value=0, max_value=2**48 - 1))
+    raw = value.to_bytes(6, "big")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+@st.composite
+def ips(draw):
+    octets = draw(st.tuples(*[st.integers(1, 254)] * 4))
+    return ".".join(str(o) for o in octets)
+
+
+@st.composite
+def packets(draw):
+    src_mac, dst_mac = draw(macs()), draw(macs())
+    src_ip, dst_ip = draw(ips()), draw(ips())
+    payload = draw(payloads)
+    kind = draw(st.sampled_from(("tcp", "udp", "icmp")))
+    if kind == "tcp":
+        header = TcpHeader(
+            src_port=draw(ports),
+            dst_port=draw(ports),
+            seq=draw(st.integers(0, 2**32 - 1)),
+            ack=draw(st.integers(0, 2**32 - 1)),
+            flags=draw(st.integers(0, 0x3F)),
+            window=draw(st.integers(0, 65535)),
+        )
+        return Packet.tcp_packet(src_mac, dst_mac, src_ip, dst_ip, header, payload)
+    if kind == "udp":
+        header = UdpHeader(src_port=draw(ports), dst_port=draw(ports))
+        return Packet.udp_packet(src_mac, dst_mac, src_ip, dst_ip, header, payload)
+    header = IcmpHeader(
+        icmp_type=draw(st.sampled_from((IcmpHeader.ECHO_REQUEST, IcmpHeader.ECHO_REPLY))),
+        identifier=draw(st.integers(0, 65535)),
+        sequence=draw(st.integers(0, 65535)),
+    )
+    return Packet.icmp_packet(src_mac, dst_mac, src_ip, dst_ip, header, payload)
+
+
+timestamps = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def _write_capture(items):
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    for packet, timestamp in items:
+        writer.write(packet, timestamp)
+    return buffer.getvalue()
+
+
+class TestRoundTrip:
+    @given(items=st.lists(st.tuples(packets(), timestamps), max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_headers_and_payload_survive(self, items):
+        raw = _write_capture(items)
+        records = read_pcap(io.BytesIO(raw))
+        assert len(records) == len(items)
+        for (original, timestamp), (got_time, frame) in zip(items, records):
+            # Timestamps are stored with microsecond resolution.
+            assert got_time == pytest.approx(timestamp, abs=2e-6)
+            parsed = parse_packet(frame)
+            assert parsed.eth == original.eth
+            assert parsed.ip == original.ip
+            assert parsed.tcp == original.tcp
+            assert parsed.udp == original.udp
+            assert parsed.icmp == original.icmp
+            assert parsed.payload == original.payload
+
+    @given(packet=packets(), timestamp=timestamps,
+           snaplen=st.integers(min_value=14, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_snaplen_caps_captured_bytes(self, packet, timestamp, snaplen):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer, snaplen=snaplen)
+        writer.write(packet, timestamp)
+        buffer.seek(0)
+        [(_, frame)] = read_pcap(buffer)
+        assert frame == packet.to_bytes()[:snaplen]
+        assert len(frame) == min(snaplen, len(packet.to_bytes()))
+
+
+class TestTruncation:
+    @given(items=st.lists(st.tuples(packets(), timestamps), min_size=1, max_size=4),
+           data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_every_cut_is_prefix_or_error(self, items, data):
+        raw = _write_capture(items)
+        cut = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        full = read_pcap(io.BytesIO(raw))
+        try:
+            records = read_pcap(io.BytesIO(raw[:cut]))
+        except ValueError:
+            return  # the reader refused the damage loudly — acceptable
+        # Otherwise the cut landed on a record boundary: the result must be
+        # an exact prefix of the undamaged parse.
+        assert records == full[: len(records)]
+        assert len(records) < len(full)
+
+    @given(items=st.lists(st.tuples(packets(), timestamps), min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_inside_global_header_always_raises(self, items):
+        raw = _write_capture(items)
+        with pytest.raises(ValueError, match="global header"):
+            read_pcap(io.BytesIO(raw[:23]))
+
+    @given(items=st.lists(st.tuples(packets(), timestamps), min_size=1, max_size=3),
+           drop=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_inside_record_header_always_raises(self, items, drop):
+        raw = _write_capture(items)
+        with pytest.raises(ValueError, match="record header"):
+            read_pcap(io.BytesIO(raw[: 24 + 16 - drop]))
+
+    @given(items=st.lists(st.tuples(packets(), timestamps), min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_inside_record_body_always_raises(self, items):
+        raw = _write_capture(items)
+        with pytest.raises(ValueError, match="record body"):
+            read_pcap(io.BytesIO(raw[: 24 + 16 + 1]))
+
+    @given(magic=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_wrong_magic_rejected(self, magic):
+        import struct
+
+        from repro.net.pcap import PCAP_MAGIC
+
+        if magic == PCAP_MAGIC:
+            return
+        header = struct.pack("<IHHiIII", magic, 2, 4, 0, 0, 65535, 1)
+        with pytest.raises(ValueError, match="magic"):
+            read_pcap(io.BytesIO(header))

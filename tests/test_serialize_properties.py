@@ -1,0 +1,125 @@
+"""Property-based round-trip tests for scenario config serialization.
+
+Hypothesis builds randomized :class:`ScenarioConfig` trees — including
+the invariant-checking and execution-strategy fields the differential
+oracle flips (``check_invariants``, ``invariant_period_s``, ``engine``,
+``microflow_cache``) — and asserts the ``config_to_dict`` → JSON text →
+``config_from_dict`` pipeline reproduces the exact dataclass, the same
+transport the CLI's ``--save``/``--config`` replay and the spawn-pool
+workers rely on for determinism.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.scenario import ENGINES, FlashCrowdSpec, ScenarioConfig
+from repro.harness.serialize import config_from_dict, config_to_dict
+from repro.harness.sweep import apply_overrides
+from repro.workload.profiles import WorkloadConfig
+
+finite = st.floats(min_value=0.001, max_value=1e4, allow_nan=False,
+                   allow_infinity=False)
+
+
+@st.composite
+def workloads(draw):
+    return WorkloadConfig(
+        attack_kind=draw(st.sampled_from(("syn", "udp"))),
+        attack_rate_pps=draw(finite),
+        attack_start_s=draw(finite),
+        attack_duration_s=draw(st.one_of(finite, st.just(float("inf")))),
+        server_backlog=draw(st.integers(1, 512)),
+        request_bytes=draw(st.integers(1, 4000)),
+        spoof=draw(st.booleans()),
+        spoof_pool_size=draw(st.integers(0, 64)),
+    )
+
+
+@st.composite
+def flash_crowds(draw):
+    return FlashCrowdSpec(
+        start_s=draw(finite),
+        duration_s=draw(finite),
+        connections_per_second=draw(finite),
+    )
+
+
+@st.composite
+def configs(draw):
+    config = ScenarioConfig(
+        topology=draw(st.sampled_from(("single", "dumbbell", "star", "linear"))),
+        topology_params=draw(st.dictionaries(
+            st.sampled_from(("n_clients", "n_attackers")),
+            st.integers(1, 4), max_size=2,
+        )),
+        seed=draw(st.integers(0, 10_000)),
+        duration_s=draw(finite),
+        defense=draw(st.sampled_from(
+            ("spi", "monitor-only", "always-on", "sampled", "flow-stats", "none")
+        )),
+        detector=draw(st.sampled_from(("ewma", "static", "cusum", "entropy"))),
+        detector_params=draw(st.dictionaries(
+            st.sampled_from(("h", "k", "threshold")), finite, max_size=2,
+        )),
+        workload=draw(workloads()),
+        with_attack=draw(st.booleans()),
+        link_loss_probability=draw(st.floats(0.0, 0.5)),
+        syn_cookies=draw(st.booleans()),
+        flash_crowd=draw(st.one_of(st.none(), flash_crowds())),
+        monitor_switches=draw(st.one_of(
+            st.none(),
+            st.tuples(st.sampled_from(("s1", "core", "edge1"))),
+        )),
+        check_invariants=draw(st.booleans()),
+        invariant_period_s=draw(finite),
+        engine=draw(st.sampled_from(ENGINES)),
+        microflow_cache=draw(st.booleans()),
+    )
+    if draw(st.booleans()):
+        config = apply_overrides(config, {
+            "spi.budget.max_concurrent": draw(st.integers(1, 8)),
+            "spi.verification_window_s": draw(finite),
+        })
+    return config
+
+
+class TestConfigRoundTrip:
+    @given(config=configs())
+    @settings(max_examples=80, deadline=None)
+    def test_dict_and_json_roundtrip_exactly(self, config):
+        data = config_to_dict(config)
+        rebuilt = config_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == config
+
+    @given(config=configs())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_is_idempotent(self, config):
+        once = config_to_dict(config)
+        rebuilt = config_from_dict(once)
+        assert config_to_dict(rebuilt) == once
+
+    @given(config=configs())
+    @settings(max_examples=40, deadline=None)
+    def test_strategy_fields_survive_transport(self, config):
+        data = json.loads(json.dumps(config_to_dict(config)))
+        rebuilt = config_from_dict(data)
+        assert rebuilt.check_invariants == config.check_invariants
+        assert rebuilt.invariant_period_s == config.invariant_period_s
+        assert rebuilt.engine == config.engine
+        assert rebuilt.microflow_cache == config.microflow_cache
+
+    def test_legacy_config_without_new_fields_defaults_cleanly(self):
+        # Configs saved before the invariant subsystem existed have no
+        # check_invariants/engine keys; they must load at the defaults.
+        data = config_to_dict(ScenarioConfig())
+        for key in ("check_invariants", "invariant_period_s", "engine",
+                    "microflow_cache"):
+            del data[key]
+        rebuilt = config_from_dict(data)
+        assert rebuilt.check_invariants is False
+        assert rebuilt.engine == "optimized"
+        assert rebuilt.microflow_cache is True
