@@ -3,18 +3,20 @@
 Usage::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_substrate.py \
-        --benchmark-json=/tmp/m1.json
+        benchmarks/bench_scenario_throughput.py --benchmark-json=/tmp/m1.json
     python benchmarks/make_baseline.py /tmp/m1.json \
         benchmarks/results/m1_baseline.json
 
-The committed baseline keeps only the event-loop and scenario cases —
-the millisecond-scale benchmarks whose medians are stable enough to gate
-on.  The nanosecond-scale cases (flow-table probes, packet pack/parse)
-jitter by tens of percent between runs on shared hardware, so gating on
-them would make CI flaky; they are still measured and uploaded as a
-workflow artifact on every build.  Raw per-round samples are dropped
-(``compare_micro.py`` reads only ``stats.median``), which keeps the
-committed file a few KB instead of tens of MB.
+The committed baseline keeps only the event-loop, scenario and
+flood-throughput cases — the millisecond-scale benchmarks whose medians
+are stable enough to gate on.  The nanosecond-scale cases (flow-table
+probes, packet pack/parse) jitter by tens of percent between runs on
+shared hardware, so gating on them would make CI flaky; they are still
+measured and uploaded as a workflow artifact on every build.  Raw
+per-round samples are dropped (``compare_micro.py`` reads only
+``stats.median``), but ``extra_info`` is kept: the throughput cases
+publish packets-per-second and their measured speedup over the pre-PR
+tree through it.
 """
 
 from __future__ import annotations
@@ -27,6 +29,8 @@ BASELINE_CASES = (
     "test_event_loop_throughput_10k_events",
     "test_event_loop_schedule_many_batched",
     "test_small_scenario_end_to_end",
+    "test_scenario_throughput_synflood",
+    "test_scenario_throughput_udpflood",
 )
 STATS_KEYS = (
     "min", "max", "mean", "stddev", "median", "iqr", "ops", "rounds", "iterations"
@@ -51,6 +55,11 @@ def slim(data: dict) -> dict:
                     for key in STATS_KEYS
                     if key in bench["stats"]
                 },
+                **(
+                    {"extra_info": bench["extra_info"]}
+                    if bench.get("extra_info")
+                    else {}
+                ),
             }
             for bench in data.get("benchmarks", [])
             if bench["name"] in BASELINE_CASES

@@ -77,6 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-invariants", action="store_true",
                      help="run periodic runtime invariant sweeps; violations "
                           "abort the run with a counterexample trace")
+    run.add_argument("--no-pooling", action="store_true",
+                     help="disable the packet shell pool (allocation fast "
+                          "path escape hatch; results are identical)")
+    run.add_argument("--no-burst-coalescing", action="store_true",
+                     help="schedule every generated packet as its own event "
+                          "instead of coalesced bursts (results identical)")
     run.add_argument("--json", action="store_true", help="machine-readable output")
     run.add_argument("--save", metavar="PATH",
                      help="write the assembled scenario config as JSON and exit")
@@ -110,6 +116,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "through the process-pool harness and compare")
     check.add_argument("--workers", type=int, default=2, metavar="N",
                        help="worker count for the parallel oracle (default: 2)")
+    check.add_argument("--fastpath-oracle", action="store_true",
+                       help="additionally run every seed with packet pooling "
+                            "and burst coalescing disabled, on both engines, "
+                            "and require byte-identical fingerprints")
     check.add_argument("--json", action="store_true",
                        help="machine-readable per-seed report")
     return parser
@@ -139,6 +149,8 @@ def _command_run(args: argparse.Namespace) -> int:
             syn_cookies=args.syn_cookies,
             link_loss_probability=args.link_loss,
             check_invariants=args.check_invariants,
+            pooling=not args.no_pooling,
+            burst_coalescing=not args.no_burst_coalescing,
             workload=WorkloadConfig(
                 attack_rate_pps=args.rate, attack_start_s=args.attack_start
             ),
@@ -202,6 +214,7 @@ def _command_check(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
         parallel_oracle=args.parallel_oracle,
         workers=args.workers,
+        fastpath_oracle=args.fastpath_oracle,
         progress=None if args.json else lambda o: print(describe_outcome(o)),
     )
     failed = [o for o in report.outcomes if not o.matched]

@@ -1,25 +1,31 @@
 """Deterministic scenario fuzzer and differential oracle.
 
 The optimized fast paths (microflow cache, tuple-heap event loop,
-process-pool fan-out) must be *strategy-invisible*: running the same
-seeded scenario on the reference event loop, with the cache disabled, or
-across a different worker count has to yield byte-identical metrics.
-This module generates randomized-but-seeded scenarios (topology,
-workload, attack mix, defense) and asserts exactly that:
+process-pool fan-out, packet pooling, burst-coalesced traffic
+generation) must be *strategy-invisible*: running the same seeded
+scenario on the reference event loop, with the cache disabled, with the
+allocation fast path off, or across a different worker count has to
+yield byte-identical metrics.  This module generates
+randomized-but-seeded scenarios (topology, workload, attack mix,
+defense) and asserts exactly that:
 
 * ``generate_scenario(seed)`` — a deterministic scenario drawn from a
   seeded RNG, with invariant checking enabled;
 * ``run_differential(seed)`` — the scenario run twice, optimized vs
   reference (:mod:`repro.sim.engine_reference` + linear-scan-only flow
-  tables), compared as canonical JSON;
+  tables), compared as canonical JSON; with ``fastpath_oracle`` it runs
+  four times, additionally flipping pooling + burst coalescing off on
+  both engines;
 * ``run_fuzz_suite(...)`` — the CI entry point behind ``repro check``,
   optionally adding the serial-vs-parallel harness oracle.
 
 The fingerprint intentionally covers every counter the metrics layer
 reads (detections, service quality, switch/link/stack/DPI counters,
-trace categories, the event count itself) and excludes only the
-``microflow_*`` counters, which legitimately differ when the cache is
-off.
+trace categories) and excludes only what legitimately differs between
+strategies: the ``microflow_*`` counters (cache off) and the raw event
+count (burst coalescing replaces N per-arrival heap entries with batch
+wake-ups, so the count of executed events is a property of the schedule
+encoding, not of the simulated traffic).
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from repro.workload.profiles import WorkloadConfig
 __all__ = [
     "generate_scenario",
     "reference_variant",
+    "fastpath_variant",
     "fingerprint",
     "fingerprint_json",
     "run_differential",
@@ -109,12 +116,23 @@ def generate_scenario(seed: int) -> ScenarioConfig:
         syn_cookies=rng.random() < 0.25,
         flash_crowd=flash_crowd,
         check_invariants=True,
+        # Drawn last so these knobs never shift the draws above (existing
+        # seeds keep their scenario shapes).  Mixing settings here gives
+        # the plain differential sweep fast-path coverage for free; the
+        # dedicated fastpath oracle below flips them explicitly.
+        pooling=rng.random() < 0.75,
+        burst_coalescing=rng.random() < 0.75,
     )
 
 
 def reference_variant(config: ScenarioConfig) -> ScenarioConfig:
     """The same scenario forced down every reference implementation."""
     return replace(config, engine="reference", microflow_cache=False)
+
+
+def fastpath_variant(config: ScenarioConfig) -> ScenarioConfig:
+    """The same scenario with the allocation fast path fully disabled."""
+    return replace(config, pooling=False, burst_coalescing=False)
 
 
 def fingerprint(result: ScenarioResult) -> dict[str, Any]:
@@ -163,7 +181,6 @@ def fingerprint(result: ScenarioResult) -> dict[str, Any]:
         "trace_categories": dict(
             sorted(Counter(e.category for e in net.tracer.entries()).items())
         ),
-        "events_executed": net.sim.events_executed,
         "final_time": net.sim.now,
         "invariant_sweeps": (
             result.invariants.checks_run if result.invariants else 0
@@ -226,25 +243,42 @@ def _diff_summary(a: str, b: str) -> str:
     return "fingerprints differ only in formatting"
 
 
-def run_differential(seed: int) -> DifferentialOutcome:
-    """Run one generated scenario on both engines and compare."""
+def run_differential(seed: int, fastpath_oracle: bool = False) -> DifferentialOutcome:
+    """Run one generated scenario on both engines and compare.
+
+    With ``fastpath_oracle`` the scenario additionally runs with packet
+    pooling and burst coalescing forced off — on both engines — and all
+    four fingerprints must be byte-identical.
+    """
     config = generate_scenario(seed)
+    variants: list[tuple[str, ScenarioConfig]] = [
+        ("reference", reference_variant(config)),
+    ]
+    if fastpath_oracle:
+        slow = fastpath_variant(config)
+        variants.append(("fastpath-off", slow))
+        variants.append(("reference+fastpath-off", reference_variant(slow)))
     try:
         optimized = fingerprint_json(run_scenario(config))
-        reference = fingerprint_json(run_scenario(reference_variant(config)))
+        others = [
+            (name, fingerprint_json(run_scenario(variant)))
+            for name, variant in variants
+        ]
     except InvariantViolation as violation:
         return DifferentialOutcome(
             seed=seed, config=config, matched=False,
             detail=f"invariant violation: {violation}",
         )
-    if optimized == reference:
-        return DifferentialOutcome(
-            seed=seed, config=config, matched=True,
-            optimized=optimized, reference=reference,
-        )
+    reference = others[0][1]
+    for name, fp in others:
+        if fp != optimized:
+            return DifferentialOutcome(
+                seed=seed, config=config, matched=False,
+                detail=f"{name} diverged: {_diff_summary(optimized, fp)}",
+                optimized=optimized, reference=fp,
+            )
     return DifferentialOutcome(
-        seed=seed, config=config, matched=False,
-        detail=_diff_summary(optimized, reference),
+        seed=seed, config=config, matched=True,
         optimized=optimized, reference=reference,
     )
 
@@ -254,6 +288,7 @@ def run_fuzz_suite(
     base_seed: int = 0,
     parallel_oracle: bool = False,
     workers: int = 2,
+    fastpath_oracle: bool = False,
     progress: Optional[Callable[[DifferentialOutcome], None]] = None,
 ) -> FuzzSuiteReport:
     """The full differential sweep: ``n_seeds`` scenarios, two engines each.
@@ -261,12 +296,14 @@ def run_fuzz_suite(
     With ``parallel_oracle`` the optimized fingerprints are additionally
     recomputed through the spawn-pool harness (``workers`` processes,
     configs shipped via :mod:`repro.harness.serialize`) and must match
-    the in-process results byte for byte.
+    the in-process results byte for byte.  With ``fastpath_oracle`` each
+    seed also runs with pooling + burst coalescing off on both engines
+    (four runs per seed).
     """
     seeds = range(base_seed, base_seed + n_seeds)
     outcomes: list[DifferentialOutcome] = []
     for seed in seeds:
-        outcome = run_differential(seed)
+        outcome = run_differential(seed, fastpath_oracle=fastpath_oracle)
         outcomes.append(outcome)
         if progress is not None:
             progress(outcome)

@@ -113,10 +113,14 @@ class ScenarioConfig:
     check_invariants: bool = False
     invariant_period_s: float = 0.5
     # Execution-strategy knobs the differential oracle flips: the event
-    # loop implementation and the flow-table microflow cache.  Neither
-    # may change any metric; repro check verifies exactly that.
+    # loop implementation, the flow-table microflow cache, and the
+    # allocation fast path (packet pooling + burst-coalesced traffic
+    # generation).  None may change any metric; repro check verifies
+    # exactly that.
     engine: str = "optimized"
     microflow_cache: bool = True
+    pooling: bool = True
+    burst_coalescing: bool = True
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -259,6 +263,10 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         extra["engine"] = config.engine
     if not config.microflow_cache:
         extra["microflow_enabled"] = False
+    if not config.pooling:
+        extra["pooling"] = False
+    if not config.burst_coalescing:
+        extra["burst_coalescing"] = False
     if config.link_loss_probability > 0:
         from repro.topology.builder import LinkSpec
 
@@ -351,6 +359,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
                 duration_s=config.flash_crowd.duration_s,
                 connections_per_second=config.flash_crowd.connections_per_second,
             ),
+            burst=config.burst_coalescing,
         )
 
     if config.probe:

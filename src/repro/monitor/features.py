@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.net.flowkey import FlowKey
 from repro.net.headers import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
 from repro.net.packet import Packet
-from repro.monitor.window import EntropyAccumulator, TumblingAccumulator
+from repro.monitor.window import EntropyAccumulator
 
 
 @dataclass(frozen=True)
@@ -76,10 +76,23 @@ class FeatureExtractor:
         # Raw (unscaled) packets fed in; ties the extractor to the tap's
         # sampled count in the monitor-accounting invariant.
         self.packets_observed = 0
-        self._counts = TumblingAccumulator()
+        # Per-window state is reused across windows (plain int counters and
+        # cleared-in-place dicts) instead of being reallocated: the observe
+        # path runs once per sampled packet, and at flood rates the
+        # string-keyed counter bundle dominated the monitor's allocations.
+        # The scaled per-destination dicts built in close_window stay fresh
+        # — they escape into WindowFeatures records the detectors retain.
+        self._n_total = 0
+        self._n_tcp = 0
+        self._n_syn = 0
+        self._n_synack = 0
+        self._n_ack = 0
+        self._n_rst = 0
+        self._n_fin = 0
+        self._n_udp = 0
         self._sources = EntropyAccumulator()
-        self._dst_syns = TumblingAccumulator()
-        self._dst_udp = TumblingAccumulator()
+        self._dst_syns: dict[str, int] = {}
+        self._dst_udp: dict[str, int] = {}
         self._window_start = 0.0
 
     def observe(self, packet: Packet, key: FlowKey | None = None) -> None:
@@ -90,50 +103,53 @@ class FeatureExtractor:
         from the shared key instead of re-derived from the headers.
         """
         self.packets_observed += 1
-        self._counts.add("total")
+        self._n_total += 1
         if packet.ip is None:
             return
         src_ip = key.ip_src if key is not None else packet.ip.src_ip
         dst_ip = key.ip_dst if key is not None else packet.ip.dst_ip
         if packet.tcp is not None:
-            self._counts.add("tcp")
+            self._n_tcp += 1
             flags = packet.tcp.flags
             if flags & TCP_SYN and not flags & TCP_ACK:
-                self._counts.add("syn")
+                self._n_syn += 1
                 self._sources.add(src_ip)
-                self._dst_syns.add(dst_ip)
+                dst = self._dst_syns
+                dst[dst_ip] = dst.get(dst_ip, 0) + 1
             elif flags & TCP_SYN and flags & TCP_ACK:
-                self._counts.add("synack")
+                self._n_synack += 1
             elif flags & TCP_ACK:
-                self._counts.add("ack")
+                self._n_ack += 1
             if flags & TCP_RST:
-                self._counts.add("rst")
+                self._n_rst += 1
             if flags & TCP_FIN:
-                self._counts.add("fin")
+                self._n_fin += 1
         elif packet.udp is not None:
-            self._counts.add("udp")
+            self._n_udp += 1
             self._sources.add(src_ip)
-            self._dst_udp.add(dst_ip)
+            dst = self._dst_udp
+            dst[dst_ip] = dst.get(dst_ip, 0) + 1
 
     def close_window(self, now: float) -> WindowFeatures:
         """Summarize and reset for the next window."""
-        counts = self._counts.snapshot_and_reset()
-        dst_counts = self._dst_syns.snapshot_and_reset()
+        dst_counts = self._dst_syns
+        # max() iterates in insertion (first-increment) order, matching the
+        # Counter-snapshot tie-breaking the detectors were tuned against.
         top_dst = max(dst_counts, key=dst_counts.get) if dst_counts else None
-        udp_counts = self._dst_udp.snapshot_and_reset()
+        udp_counts = self._dst_udp
         top_udp = max(udp_counts, key=udp_counts.get) if udp_counts else None
         scale = self._scale
         features = WindowFeatures(
             window_start=self._window_start,
             window_end=now,
-            total_packets=counts.get("total", 0) * scale,
-            tcp_packets=counts.get("tcp", 0) * scale,
-            syn_count=counts.get("syn", 0) * scale,
-            synack_count=counts.get("synack", 0) * scale,
-            ack_count=counts.get("ack", 0) * scale,
-            rst_count=counts.get("rst", 0) * scale,
-            fin_count=counts.get("fin", 0) * scale,
-            udp_packets=counts.get("udp", 0) * scale,
+            total_packets=self._n_total * scale,
+            tcp_packets=self._n_tcp * scale,
+            syn_count=self._n_syn * scale,
+            synack_count=self._n_synack * scale,
+            ack_count=self._n_ack * scale,
+            rst_count=self._n_rst * scale,
+            fin_count=self._n_fin * scale,
+            udp_packets=self._n_udp * scale,
             distinct_sources=self._sources.distinct,
             source_entropy=self._sources.entropy(),
             top_destination=top_dst,
@@ -145,6 +161,10 @@ class FeatureExtractor:
             ),
             per_destination_udp={ip: c * scale for ip, c in udp_counts.items()},
         )
+        self._n_total = self._n_tcp = self._n_syn = self._n_synack = 0
+        self._n_ack = self._n_rst = self._n_fin = self._n_udp = 0
+        dst_counts.clear()
+        udp_counts.clear()
         self._sources.reset()
         self._window_start = now
         return features

@@ -25,13 +25,17 @@ def validate_mac(mac: str) -> str:
     return mac.lower()
 
 
+@lru_cache(maxsize=4096)
 def mac_to_bytes(mac: str) -> bytes:
-    """Pack a colon-separated MAC into 6 bytes."""
+    """Pack a colon-separated MAC into 6 bytes (memoized: a scenario has
+    a handful of MACs, packed once per transmitted frame)."""
     return bytes(int(part, 16) for part in validate_mac(mac).split(":"))
 
 
+@lru_cache(maxsize=4096)
 def bytes_to_mac(raw: bytes) -> str:
-    """Unpack 6 bytes into a colon-separated MAC string."""
+    """Unpack 6 bytes into a colon-separated MAC string (memoized: DPI
+    re-parses every inspected frame's Ethernet header)."""
     if len(raw) != 6:
         raise ValueError(f"MAC must be 6 bytes, got {len(raw)}")
     return ":".join(f"{b:02x}" for b in raw)

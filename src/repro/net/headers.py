@@ -10,6 +10,7 @@ monitor attached to an OVS SPAN port would see.
 from __future__ import annotations
 
 import struct
+import sys
 from dataclasses import dataclass, replace
 
 from repro.net.addresses import bytes_to_mac, int_to_ip, ip_to_int, mac_to_bytes
@@ -31,13 +32,50 @@ class HeaderError(ValueError):
     """Raised when bytes cannot be parsed as the expected header."""
 
 
+_NATIVE_IS_LITTLE = sys.byteorder == "little"
+
+
 def internet_checksum(data: bytes) -> int:
-    """RFC 1071 Internet checksum over ``data`` (odd lengths zero-padded)."""
+    """RFC 1071 Internet checksum over ``data`` (odd lengths zero-padded).
+
+    The 16-bit words are summed in native byte order at C speed
+    (``memoryview.cast`` + ``sum``); the ones-complement sum commutes
+    with byte order, so folding and then byte-swapping the result yields
+    exactly the big-endian checksum of the word-at-a-time reference.
+    Two folds suffice for any frame shorter than 128 KiB.
+    """
     if len(data) % 2:
         data += b"\x00"
-    total = 0
+    total = sum(memoryview(data).cast("H"))
+    total = (total & 0xFFFF) + (total >> 16)
+    total = (total & 0xFFFF) + (total >> 16)
+    if _NATIVE_IS_LITTLE:
+        total = ((total & 0xFF) << 8) | (total >> 8)
+    return (~total) & 0xFFFF
+
+
+def checksum_partial(data: bytes, total: int = 0) -> int:
+    """Folded ones-complement partial sum, chainable via ``total``.
+
+    The ones-complement sum is associative and fold-order insensitive, so
+    a checksum over ``fixed + variable`` bytes can be split: precompute the
+    partial over the fixed bytes once, then per packet add the variable
+    16-bit words and finish with :func:`finish_checksum`.  The flood-packet
+    templates lean on this to stamp src-IP/port/seq into pre-packed frames
+    without re-summing the whole header.
+    """
+    if len(data) % 2:
+        data += b"\x00"
     for i in range(0, len(data), 2):
         total += (data[i] << 8) | data[i + 1]
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def finish_checksum(total: int) -> int:
+    """Fold a partial sum and return the complemented checksum value."""
+    while total > 0xFFFF:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
 
@@ -144,12 +182,7 @@ class IPv4Header:
 def _pseudo_header(src_ip: str, dst_ip: str, protocol: int, length: int) -> bytes:
     """IPv4 pseudo-header used by TCP/UDP checksums."""
     return struct.pack(
-        "!4s4sBBH",
-        bytes((ip_to_int(src_ip) >> s) & 0xFF for s in (24, 16, 8, 0)),
-        bytes((ip_to_int(dst_ip) >> s) & 0xFF for s in (24, 16, 8, 0)),
-        0,
-        protocol,
-        length,
+        "!IIBBH", ip_to_int(src_ip), ip_to_int(dst_ip), 0, protocol, length
     )
 
 

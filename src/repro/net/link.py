@@ -74,6 +74,14 @@ class LinkEnd:
         self._rng = rng
         self._queue: deque[Packet] = deque()
         self._transmitting = False
+        # The frame occupying the wire and the frames in propagation.  The
+        # per-direction delay is constant, so propagation completes in FIFO
+        # order and the callbacks below can be shared bound methods instead
+        # of one closure per packet (the closures dominated allocation at
+        # flood rates, and a closure-held reference would also defeat
+        # PacketPool recycling on delivery).
+        self._serializing: Optional[Packet] = None
+        self._propagating: deque[Packet] = deque()
         self._peer: Optional["Interface"] = None
         self.stats = LinkStats()
 
@@ -99,56 +107,75 @@ class LinkEnd:
             return False
         self._queue.append(packet)
         if not self._transmitting:
-            entry = self._next_tx()
-            if entry is not None:
-                self._sim.schedule(*entry)
+            self._sim.schedule(*self._start_tx())
         return True
 
-    def _next_tx(self) -> tuple[float, Callable[[], None], str] | None:
-        """Dequeue the next packet and return its serialization event entry."""
-        if not self._queue:
-            self._transmitting = False
-            return None
+    def _start_tx(self) -> tuple[float, Callable[[], None], str]:
+        """Move the next queued packet onto the wire; returns its tx entry.
+
+        The queue must be non-empty.  Counters are bumped here (packet is
+        committed to the wire) and the completion callback is the shared
+        ``_tx_done`` bound method — the packet lives in ``_serializing``.
+        """
         self._transmitting = True
         packet = self._queue.popleft()
-        tx_time = self.transmission_time(packet)
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += packet.size_bytes
-        self.stats.packets_in_flight += 1
-        return (tx_time, lambda p=packet: self._finish(p), "link.tx")
+        self._serializing = packet
+        size = packet.size_bytes
+        stats = self.stats
+        stats.packets_sent += 1
+        stats.bytes_sent += size
+        stats.packets_in_flight += 1
+        return (size * 8.0 / self._bandwidth_bps, self._tx_done, "link.tx")
 
-    def _finish(self, packet: Packet) -> None:
+    def _tx_done(self) -> None:
         # The propagation of the finished packet and the serialization of
         # the next one are scheduled as one batch (same order as separate
         # schedule() calls, so event sequence numbers are unchanged).
-        batch: list[tuple[float, Callable[[], None], str]] = []
+        packet = self._serializing
+        self._serializing = None
+        stats = self.stats
+        propagate: tuple[float, Callable[[], None], str] | None = None
         if (
             self._loss_probability > 0
             and self._rng is not None
             and self._rng.random() < self._loss_probability
         ):
-            self.stats.packets_lost += 1
-            self.stats.packets_in_flight -= 1
+            stats.packets_lost += 1
+            stats.packets_in_flight -= 1
+            pool = packet._pool
+            if pool is not None:
+                pool.release(packet)
         elif self._peer is not None:
-            batch.append(
-                (self._delay_s, lambda p=packet: self._deliver(p), "link.propagate")
-            )
+            self._propagating.append(packet)
+            propagate = (self._delay_s, self._deliver_next, "link.propagate")
         else:
-            self.stats.packets_unrouted += 1
-            self.stats.packets_in_flight -= 1
-        entry = self._next_tx()
-        if entry is not None:
-            batch.append(entry)
-        if len(batch) == 1:
-            self._sim.schedule(*batch[0])
-        elif batch:
-            self._sim.schedule_many(batch)
+            stats.packets_unrouted += 1
+            stats.packets_in_flight -= 1
+            pool = packet._pool
+            if pool is not None:
+                pool.release(packet)
+        if self._queue:
+            entry = self._start_tx()
+            if propagate is None:
+                self._sim.schedule(*entry)
+            else:
+                self._sim.schedule_many((propagate, entry))
+        else:
+            self._transmitting = False
+            if propagate is not None:
+                self._sim.schedule(*propagate)
 
-    def _deliver(self, packet: Packet) -> None:
-        self.stats.packets_delivered += 1
-        self.stats.packets_in_flight -= 1
-        assert self._peer is not None
+    def _deliver_next(self) -> None:
+        packet = self._propagating.popleft()
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.packets_in_flight -= 1
         self._peer.deliver(packet)
+        # Offer the frame back to its pool; release() recycles only if the
+        # receiver (and everyone upstream) dropped all references.
+        pool = packet._pool
+        if pool is not None:
+            pool.release(packet)
 
 
 class Link:

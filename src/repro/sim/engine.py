@@ -191,6 +191,26 @@ class Simulator:
             )
         return self._queue.push(time, fn, label)
 
+    def schedule_at_many(
+        self, items: Sequence[tuple[float, Callable[[], None], str]]
+    ) -> list[Event]:
+        """Schedule a batch of ``(time, fn, label)`` entries at absolute times.
+
+        The batched counterpart of :meth:`schedule_at`, used by the burst
+        coalescing fast path: pre-generated arrival times must be re-entered
+        verbatim (going through a delay would re-round ``now + (t - now)``
+        and shift event times off the reference trajectory).  Sequence
+        numbers are assigned in iteration order, exactly like the equivalent
+        series of :meth:`schedule_at` calls.
+        """
+        now = self._now
+        for time, _fn, _label in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at {time!r}, clock already at {now!r}"
+                )
+        return self._queue.push_many(items)
+
     def cancel(self, event: Event) -> None:
         """Cancel a pending event; cancelling twice is a no-op."""
         if not event.cancelled:

@@ -133,6 +133,17 @@ class ReferenceSimulator:
             )
         return self._queue.push(time, fn, label)
 
+    def schedule_at_many(
+        self, items: Sequence[tuple[float, Callable[[], None], str]]
+    ) -> list[ReferenceEvent]:
+        """Schedule a batch of ``(time, fn, label)`` entries at absolute times."""
+        for time, _fn, _label in items:
+            if time < self._now:
+                raise SimulationError(
+                    f"cannot schedule at {time!r}, clock already at {self._now!r}"
+                )
+        return [self._queue.push(time, fn, label) for time, fn, label in items]
+
     def cancel(self, event: ReferenceEvent) -> None:
         """Cancel a pending event; cancelling twice is a no-op."""
         if not event.cancelled:

@@ -194,7 +194,15 @@ class OpenFlowSwitch(Node):
             return
         self.workload.charge_forward(self.sim.now)
         self.counters.packets_forwarded += 1
-        interface.send(packet.copy())
+        # The clone stays in a local so a drop-tailed frame can go back to
+        # its pool; at flood rates most clones die right here and recycling
+        # them keeps the free list warm (release() refuses if anything —
+        # a tap, a trace — still holds the clone).
+        clone = packet.copy()
+        if not interface.send(clone):
+            pool = clone._pool
+            if pool is not None:
+                pool.release(clone)
 
     def _flood(self, packet: Packet, in_port: int) -> None:
         self.counters.packets_flooded += 1
@@ -202,7 +210,11 @@ class OpenFlowSwitch(Node):
             if port_no == in_port or not interface.connected:
                 continue
             self.workload.charge_forward(self.sim.now)
-            interface.send(packet.copy())
+            clone = packet.copy()
+            if not interface.send(clone):
+                pool = clone._pool
+                if pool is not None:
+                    pool.release(clone)
 
     def _mirror(self, packet: Packet, port_no: int) -> None:
         interface = self.interfaces.get(port_no)
@@ -211,7 +223,11 @@ class OpenFlowSwitch(Node):
         self.workload.charge_mirror(packet.size_bytes, self.sim.now)
         self.counters.packets_mirrored += 1
         self.counters.bytes_mirrored += packet.size_bytes
-        interface.send(packet.copy())
+        clone = packet.copy()
+        if not interface.send(clone):
+            pool = clone._pool
+            if pool is not None:
+                pool.release(clone)
 
     def _punt(self, packet: Packet, in_port: int, reason: PacketInReason) -> None:
         if self.channel is None:

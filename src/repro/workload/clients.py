@@ -108,6 +108,9 @@ class WebClient:
         self.rng = rng or SeededRng(0)
         self.think_time_s = think_time_s
         self.request_bytes = request_bytes
+        # One immutable payload shared by every attempt; request bodies are
+        # all-"R" filler, so rebuilding the bytes per attempt bought nothing.
+        self._request_payload = b"R" * request_bytes
         self.stats = WebClientStats()
         self._running = False
         self._timer = Timer(stack.sim, self._begin_attempt, f"client.{stack.host.name}")
@@ -140,7 +143,7 @@ class WebClient:
         def on_established(conn: Connection) -> None:
             attempt.connected_at = self.stack.sim.now
             conn.on_data = on_data
-            conn.send(b"R" * self.request_bytes)
+            conn.send(self._request_payload)
 
         def on_data(conn: Connection, data: bytes) -> None:
             if not data or attempt.completed_at is not None:

@@ -19,6 +19,7 @@ from repro.harness.fuzzer import (
     DifferentialOutcome,
     FuzzSuiteReport,
     describe_outcome,
+    fastpath_variant,
     fingerprint,
     fingerprint_json,
     generate_scenario,
@@ -61,13 +62,33 @@ class TestGenerator:
         assert variant.workload == config.workload
         assert variant.topology == config.topology
 
+    def test_fastpath_variant_flips_only_allocation_knobs(self):
+        config = generate_scenario(3)
+        variant = fastpath_variant(config)
+        assert variant.pooling is False
+        assert variant.burst_coalescing is False
+        assert variant.engine == config.engine
+        assert variant.seed == config.seed
+        assert variant.workload == config.workload
+
+    def test_generator_mixes_fastpath_knobs(self):
+        settings = {
+            (generate_scenario(seed).pooling,
+             generate_scenario(seed).burst_coalescing)
+            for seed in range(40)
+        }
+        assert len(settings) > 1
+
 
 class TestFingerprint:
     def test_covers_core_metrics_and_omits_microflow(self):
         config = generate_scenario(2)
         data = fingerprint(run_scenario(config))
         assert {"detections", "switches", "links", "stacks",
-                "events_executed", "final_time"} <= set(data)
+                "final_time"} <= set(data)
+        # The raw event count is schedule-encoding-dependent (burst
+        # coalescing changes it) and must stay out of the fingerprint.
+        assert "events_executed" not in data
         for counters in data["switches"].values():
             assert not any(key.startswith("microflow") for key in counters)
             assert {"lookups", "hits", "misses"} <= set(counters)
@@ -90,6 +111,10 @@ class TestDifferentialRuns:
         assert outcome.matched, describe_outcome(outcome)
         assert outcome.optimized == outcome.reference
 
+    def test_fastpath_oracle_four_way_identical(self):
+        outcome = run_differential(0, fastpath_oracle=True)
+        assert outcome.matched, describe_outcome(outcome)
+
     def test_suite_report_aggregates(self):
         report = run_fuzz_suite(n_seeds=2, base_seed=0)
         assert len(report.outcomes) == 2
@@ -111,14 +136,14 @@ class TestDifferentialRuns:
             text = real(result)
             if len(calls) % 2 == 0:  # corrupt every reference run
                 data = json.loads(text)
-                data["events_executed"] += 1
+                data["final_time"] += 1
                 return json.dumps(data, sort_keys=True)
             return text
 
         monkeypatch.setattr(fuzzer, "fingerprint_json", skewed)
         outcome = fuzzer.run_differential(0)
         assert not outcome.matched
-        assert "events_executed" in outcome.detail
+        assert "final_time" in outcome.detail
         report = FuzzSuiteReport(outcomes=(outcome,))
         assert not report.passed
         assert "FAIL" in describe_outcome(outcome)

@@ -253,6 +253,7 @@ class TestHarness:
             "LinkConservationChecker",
             "FlowTableCoherenceChecker",
             "TcpLegalityChecker",
+            "PacketPoolChecker",
         }
         harness.check_now()
         assert harness.checks_run == 1

@@ -166,3 +166,39 @@ class TestUdpFeatures:
         features = fx.close_window(1.0)
         assert features.udp_packets == pytest.approx(40.0)
         assert features.top_udp_destination_packets == pytest.approx(40.0)
+
+
+class TestReusedAccumulators:
+    """The per-window counters/dicts are recycled in place across windows;
+    nothing from a closed window may leak into the next one, and the
+    per-destination dicts handed out must not alias the live ones."""
+
+    def test_second_window_starts_from_zero(self):
+        fx = FeatureExtractor()
+        for _ in range(5):
+            fx.observe(tcp(TCP_SYN))
+        fx.observe(udp())
+        first = fx.close_window(1.0)
+        assert first.syn_count == 5 and first.udp_packets == 1
+        second = fx.close_window(2.0)
+        assert second.total_packets == 0
+        assert second.syn_count == 0 and second.udp_packets == 0
+        assert second.distinct_sources == 0
+        assert second.per_destination_syns == {}
+        assert second.per_destination_udp == {}
+        assert second.window_start == 1.0 and second.window_end == 2.0
+
+    def test_emitted_dicts_do_not_alias_live_state(self):
+        fx = FeatureExtractor()
+        fx.observe(tcp(TCP_SYN, dst_ip="10.0.0.9"))
+        fx.observe(udp(dst_ip="10.0.0.9"))
+        first = fx.close_window(1.0)
+        # New traffic after the close must not mutate the emitted record.
+        for _ in range(3):
+            fx.observe(tcp(TCP_SYN, dst_ip="10.0.0.7"))
+            fx.observe(udp(dst_ip="10.0.0.7"))
+        assert first.per_destination_syns == {"10.0.0.9": 1}
+        assert first.per_destination_udp == {"10.0.0.9": 1}
+        second = fx.close_window(2.0)
+        assert second.per_destination_syns == {"10.0.0.7": 3}
+        assert second.per_destination_udp == {"10.0.0.7": 3}

@@ -199,6 +199,62 @@ class TestAttackers:
             UdpFloodConfig(victim_ip="10.0.0.1", rate_pps=100, payload_bytes=-1)
 
 
+class TestAttackSchedule:
+    def test_ramp_longer_than_duration_never_reaches_full_rate(self):
+        schedule = AttackSchedule(start_s=1.0, duration_s=2.0, ramp_s=10.0)
+        assert schedule.rate_multiplier(1.0) == 0.0  # ramp starts from zero
+        assert schedule.rate_multiplier(2.0) == pytest.approx(0.1)
+        assert schedule.rate_multiplier(3.0 - 1e-9) == pytest.approx(0.2)
+        # The window closes mid-ramp: the multiplier drops to zero, not 1.
+        assert schedule.rate_multiplier(3.0) == 0.0
+
+    def test_window_is_half_open_at_exact_end(self):
+        schedule = AttackSchedule(start_s=2.0, duration_s=3.0)
+        assert schedule.rate_multiplier(2.0) == 1.0  # start is inclusive
+        assert schedule.rate_multiplier(5.0 - 1e-9) == 1.0
+        assert schedule.rate_multiplier(5.0) == 0.0  # end is exclusive
+
+    def test_pulse_boundary_is_half_open(self):
+        schedule = AttackSchedule(pulse_on_s=1.0, pulse_off_s=1.0)
+        assert schedule.rate_multiplier(0.0) == 1.0
+        assert schedule.rate_multiplier(1.0 - 1e-9) == 1.0
+        assert schedule.rate_multiplier(1.0) == 0.0  # phase == pulse_on_s: off
+        assert schedule.rate_multiplier(2.0 - 1e-9) == 0.0
+        assert schedule.rate_multiplier(2.0) == 1.0  # wraps to the next pulse
+
+    def test_window_edge_wins_mid_pulse(self):
+        # duration_s ends inside an on-pulse: the window edge silences the
+        # attack even though the pulse phase alone would keep it firing.
+        schedule = AttackSchedule(
+            duration_s=4.5, pulse_on_s=1.0, pulse_off_s=1.0
+        )
+        assert schedule.rate_multiplier(4.5 - 1e-9) == 1.0  # phase 0.5: on
+        assert schedule.rate_multiplier(4.5) == 0.0
+
+    def test_burst_tick_with_zero_due_packets(self, rig):
+        # A pulsing flood whose off-phase spans many burst horizons: every
+        # arrival crafted inside an off-phase is suppressed, the burst
+        # machinery keeps rescheduling itself through the silence, and the
+        # flood resumes on the next on-phase.
+        net, roles = rig
+        attacker = UdpFloodAttacker(
+            net.hosts["atk1"], net.rng.child("a"),
+            UdpFloodConfig(
+                victim_ip=net.hosts["srv1"].ip, rate_pps=400,
+                schedule=AttackSchedule(pulse_on_s=0.2, pulse_off_s=0.6),
+            ),
+        )
+        attacker.start()
+        net.run(until=1.0)  # on [0, 0.2), off [0.2, 0.8), on [0.8, 1.0)
+        sent_at_1s = attacker.packets_sent
+        assert sent_at_1s > 0
+        assert sent_at_1s < 400 * 0.5  # duty cycle 0.25: well under half
+        net.run(until=1.5)  # entirely inside the second off-phase
+        assert attacker.packets_sent == sent_at_1s
+        net.run(until=1.8)  # third on-phase [1.6, 1.8)
+        assert attacker.packets_sent > sent_at_1s
+
+
 class TestFlashCrowd:
     def test_crowd_completes_handshakes(self, rig):
         net, roles = rig
