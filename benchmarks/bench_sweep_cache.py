@@ -1,0 +1,81 @@
+"""M4: content-addressed sweep result cache — cold vs warm wall clock.
+
+The cache's value claim is simple: re-running an experiment whose
+(config, seed, source-tree) key set is already stored should cost file
+reads, not simulations.  These cases time a small E1 grid cold (empty
+cache directory) and warm (same grid again), record both, and assert
+the warm run is at least 5x faster end to end.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.harness.cache import SweepCache, set_default_cache
+from repro.harness.experiments import run_e1_response_time
+
+# A reduced E1 grid: enough points that the warm/cold contrast is not
+# dominated by fixed interpreter overhead, small enough to keep the
+# cold phase to a few seconds.
+E1_QUICK = {"rates": (100.0, 400.0), "seeds": (1, 2), "workers": 1}
+
+
+def _run_e1_with_cache(cache_dir):
+    cache = SweepCache(cache_dir)
+    set_default_cache(cache)
+    try:
+        table = run_e1_response_time(**E1_QUICK)
+    finally:
+        set_default_cache(None)
+    return table, cache
+
+
+def test_e1_sweep_cache_cold(benchmark, tmp_path):
+    """Cold: every point simulated, results stored."""
+
+    def setup():
+        root = tmp_path / f"cold-{time.monotonic_ns()}"
+        return (root,), {}
+
+    table, _ = benchmark.pedantic(
+        _run_e1_with_cache, setup=setup, rounds=3, iterations=1
+    )
+    assert len(table.rows) == len(E1_QUICK["rates"])
+
+
+def test_e1_sweep_cache_warm(benchmark, tmp_path):
+    """Warm: same grid, every point served from the store."""
+    root = tmp_path / "warm"
+    _, cold_cache = _run_e1_with_cache(root)  # populate once
+    assert cold_cache.stats.stores > 0
+
+    table, cache = benchmark.pedantic(
+        _run_e1_with_cache, args=(root,), rounds=5, iterations=1
+    )
+    assert len(table.rows) == len(E1_QUICK["rates"])
+    assert cache.stats.misses == 0 and cache.stats.hits > 0
+
+
+def test_e1_warm_cache_is_5x_faster(tmp_path):
+    """The acceptance bound: warm E1 >= 5x faster than cold, same rows."""
+    root = tmp_path / "ratio"
+
+    start = time.perf_counter()
+    cold_table, cold_cache = _run_e1_with_cache(root)
+    cold_s = time.perf_counter() - start
+    assert cold_cache.stats.hits == 0 and cold_cache.stats.stores > 0
+
+    warm_times = []
+    for _ in range(3):
+        start = time.perf_counter()
+        warm_table, warm_cache = _run_e1_with_cache(root)
+        warm_times.append(time.perf_counter() - start)
+        assert warm_cache.stats.misses == 0
+        assert warm_table.rows == cold_table.rows
+    warm_s = statistics.median(warm_times)
+
+    assert cold_s / warm_s >= 5.0, (
+        f"warm E1 sweep only {cold_s / warm_s:.1f}x faster than cold "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s); cache is not paying for itself"
+    )

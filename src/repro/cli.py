@@ -1,19 +1,24 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     python -m repro list                      # topologies, defenses, detectors, experiments
     python -m repro run --topology dumbbell --defense spi --rate 400
-    python -m repro experiment e1 [--quick] [--markdown] [--workers N]
-    python -m repro check [--seeds 25] [--parallel-oracle]
+    python -m repro experiment e1 [--quick] [--markdown] [--workers N] [--cache]
+    python -m repro cache info|clear
+    python -m repro check [--seeds 25] [--parallel-oracle] [--scheduler-oracle]
 
 ``run`` executes a single scenario and prints the detection timeline and
 service summary; ``experiment`` regenerates one of the evaluation tables
 (E1-E7 plus the extension experiments), fanning its scenario runs over
-``--workers`` processes (default: one per CPU); ``check`` runs the
-differential fuzzer from :mod:`repro.harness.fuzzer`, asserting that
-every seeded scenario produces byte-identical metrics on the optimized
-and reference implementations with runtime invariant checking enabled.
+``--workers`` processes (default: one per CPU) and, with ``--cache``,
+serving previously simulated points from the content-addressed result
+cache (:mod:`repro.harness.cache`; ``cache info``/``cache clear`` manage
+the store); ``check`` runs the differential fuzzer from
+:mod:`repro.harness.fuzzer`, asserting that every seeded scenario
+produces byte-identical metrics on the optimized and reference
+implementations — and, with ``--scheduler-oracle``, on the
+calendar-queue engine — with runtime invariant checking enabled.
 ``run`` and ``experiment`` both accept ``--check-invariants`` to enable
 the :mod:`repro.sim.invariants` sweeps during normal runs.
 """
@@ -26,7 +31,13 @@ import sys
 from typing import Sequence
 
 from repro.harness.experiments import ALL_EXPERIMENTS
-from repro.harness.scenario import DEFENSES, TOPOLOGIES, ScenarioConfig, run_scenario
+from repro.harness.scenario import (
+    DEFENSES,
+    ENGINES,
+    TOPOLOGIES,
+    ScenarioConfig,
+    run_scenario,
+)
 from repro.metrics.report import Table
 from repro.workload.profiles import WorkloadConfig
 
@@ -74,6 +85,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--link-loss", type=float, default=0.0,
                      help="random per-packet loss probability on every link")
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--engine", default="optimized", choices=ENGINES,
+                     help="event scheduler: tuple heap (optimized), calendar "
+                          "queue, or the reference loop (results identical)")
     run.add_argument("--check-invariants", action="store_true",
                      help="run periodic runtime invariant sweeps; violations "
                           "abort the run with a counterexample trace")
@@ -102,6 +116,21 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--check-invariants", action="store_true",
                             help="run every scenario with runtime invariant "
                                  "sweeps enabled (slower; violations abort)")
+    experiment.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                            default=False,
+                            help="consult/populate the content-addressed sweep "
+                                 "result cache (previously simulated points "
+                                 "are served from disk; any src/ change "
+                                 "invalidates)")
+    experiment.add_argument("--cache-dir", metavar="DIR", default=None,
+                            help="cache location (default: $REPRO_CACHE_DIR "
+                                 "or ./.repro-cache)")
+
+    cache = sub.add_parser("cache", help="inspect or clear the sweep result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache location (default: $REPRO_CACHE_DIR "
+                            "or ./.repro-cache)")
 
     check = sub.add_parser(
         "check",
@@ -120,6 +149,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="additionally run every seed with packet pooling "
                             "and burst coalescing disabled, on both engines, "
                             "and require byte-identical fingerprints")
+    check.add_argument("--scheduler-oracle", action="store_true",
+                       help="additionally run every seed on the calendar-queue "
+                            "engine and require heap x calendar x reference "
+                            "fingerprints to be byte-identical")
     check.add_argument("--json", action="store_true",
                        help="machine-readable per-seed report")
     return parser
@@ -148,6 +181,7 @@ def _command_run(args: argparse.Namespace) -> int:
             with_attack=not args.no_attack,
             syn_cookies=args.syn_cookies,
             link_loss_probability=args.link_loss,
+            engine=args.engine,
             check_invariants=args.check_invariants,
             pooling=not args.no_pooling,
             burst_coalescing=not args.no_burst_coalescing,
@@ -198,11 +232,39 @@ def _command_experiment(args: argparse.Namespace) -> int:
         from repro.harness.scenario import force_check_invariants
 
         force_check_invariants()
+    cache = None
+    if args.cache:
+        from repro.harness.cache import SweepCache, set_default_cache
+
+        cache = set_default_cache(SweepCache(args.cache_dir))
     fn = ALL_EXPERIMENTS[args.name]
     kwargs = dict(QUICK_ARGS.get(args.name, {})) if args.quick else {}
     kwargs["workers"] = args.workers
-    table = fn(**kwargs)
+    try:
+        table = fn(**kwargs)
+    finally:
+        if cache is not None:
+            from repro.harness.cache import set_default_cache
+
+            set_default_cache(None)
     print(table.to_markdown() if args.markdown else table.to_text())
+    if cache is not None:
+        print(cache.stats.describe())
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.harness.cache import SweepCache
+
+    cache = SweepCache(args.cache_dir)
+    if args.action == "info":
+        info = cache.info()
+        print(f"path   : {info['path']}")
+        print(f"entries: {info['entries']}")
+        print(f"bytes  : {info['bytes']}")
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
     return 0
 
 
@@ -215,6 +277,7 @@ def _command_check(args: argparse.Namespace) -> int:
         parallel_oracle=args.parallel_oracle,
         workers=args.workers,
         fastpath_oracle=args.fastpath_oracle,
+        scheduler_oracle=args.scheduler_oracle,
         progress=None if args.json else lambda o: print(describe_outcome(o)),
     )
     failed = [o for o in report.outcomes if not o.matched]
@@ -250,6 +313,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "experiment":
         return _command_experiment(args)
+    if args.command == "cache":
+        return _command_cache(args)
     if args.command == "check":
         return _command_check(args)
     return 2

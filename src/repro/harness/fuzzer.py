@@ -15,7 +15,8 @@ defense) and asserts exactly that:
   reference (:mod:`repro.sim.engine_reference` + linear-scan-only flow
   tables), compared as canonical JSON; with ``fastpath_oracle`` it runs
   four times, additionally flipping pooling + burst coalescing off on
-  both engines;
+  both engines; with ``scheduler_oracle`` it also runs on the
+  calendar-queue engine (:mod:`repro.sim.engine_calendar`);
 * ``run_fuzz_suite(...)`` — the CI entry point behind ``repro check``,
   optionally adding the serial-vs-parallel harness oracle.
 
@@ -48,6 +49,7 @@ from repro.workload.profiles import WorkloadConfig
 __all__ = [
     "generate_scenario",
     "reference_variant",
+    "calendar_variant",
     "fastpath_variant",
     "fingerprint",
     "fingerprint_json",
@@ -128,6 +130,11 @@ def generate_scenario(seed: int) -> ScenarioConfig:
 def reference_variant(config: ScenarioConfig) -> ScenarioConfig:
     """The same scenario forced down every reference implementation."""
     return replace(config, engine="reference", microflow_cache=False)
+
+
+def calendar_variant(config: ScenarioConfig) -> ScenarioConfig:
+    """The same scenario on the calendar-queue scheduler."""
+    return replace(config, engine="calendar")
 
 
 def fastpath_variant(config: ScenarioConfig) -> ScenarioConfig:
@@ -243,17 +250,25 @@ def _diff_summary(a: str, b: str) -> str:
     return "fingerprints differ only in formatting"
 
 
-def run_differential(seed: int, fastpath_oracle: bool = False) -> DifferentialOutcome:
+def run_differential(
+    seed: int,
+    fastpath_oracle: bool = False,
+    scheduler_oracle: bool = False,
+) -> DifferentialOutcome:
     """Run one generated scenario on both engines and compare.
 
     With ``fastpath_oracle`` the scenario additionally runs with packet
     pooling and burst coalescing forced off — on both engines — and all
-    four fingerprints must be byte-identical.
+    four fingerprints must be byte-identical.  With ``scheduler_oracle``
+    it also runs on the calendar-queue engine, holding heap × calendar ×
+    reference to one fingerprint.
     """
     config = generate_scenario(seed)
     variants: list[tuple[str, ScenarioConfig]] = [
         ("reference", reference_variant(config)),
     ]
+    if scheduler_oracle:
+        variants.append(("calendar", calendar_variant(config)))
     if fastpath_oracle:
         slow = fastpath_variant(config)
         variants.append(("fastpath-off", slow))
@@ -289,6 +304,7 @@ def run_fuzz_suite(
     parallel_oracle: bool = False,
     workers: int = 2,
     fastpath_oracle: bool = False,
+    scheduler_oracle: bool = False,
     progress: Optional[Callable[[DifferentialOutcome], None]] = None,
 ) -> FuzzSuiteReport:
     """The full differential sweep: ``n_seeds`` scenarios, two engines each.
@@ -298,12 +314,17 @@ def run_fuzz_suite(
     configs shipped via :mod:`repro.harness.serialize`) and must match
     the in-process results byte for byte.  With ``fastpath_oracle`` each
     seed also runs with pooling + burst coalescing off on both engines
-    (four runs per seed).
+    (four runs per seed).  With ``scheduler_oracle`` each seed also runs
+    on the calendar-queue engine (heap × calendar × reference identity).
     """
     seeds = range(base_seed, base_seed + n_seeds)
     outcomes: list[DifferentialOutcome] = []
     for seed in seeds:
-        outcome = run_differential(seed, fastpath_oracle=fastpath_oracle)
+        outcome = run_differential(
+            seed,
+            fastpath_oracle=fastpath_oracle,
+            scheduler_oracle=scheduler_oracle,
+        )
         outcomes.append(outcome)
         if progress is not None:
             progress(outcome)

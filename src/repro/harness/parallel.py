@@ -21,6 +21,12 @@ so the results are identical whatever the worker count — ``workers=1`` and
 started with the ``spawn`` method: every entrypoint here is a module-level
 function pickled by reference, so the harness works on platforms where
 ``fork`` is unavailable or unsafe.
+
+That same determinism makes extracted results cacheable: when a
+:class:`repro.harness.cache.SweepCache` is installed (explicitly or via
+``repro experiment --cache``), ``run_scenarios`` consults it per point
+before dispatching anything and only the misses are simulated; hits,
+misses and stores are tallied on the cache's stats.
 """
 
 from __future__ import annotations
@@ -31,7 +37,10 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.harness.cache import SweepCache
 
 from repro.harness.scenario import (
     ScenarioConfig,
@@ -146,6 +155,25 @@ def _scenario_worker(
     return extract(result)
 
 
+def _run_configs(
+    configs: Sequence[ScenarioConfig],
+    extract: Callable[[ScenarioResult], Any],
+    workers: Optional[int],
+    timeout_s: Optional[float],
+    retries: int,
+) -> list[Any]:
+    """Simulate + reduce each config, serially or through the pool."""
+    if resolve_workers(workers) <= 1 or len(configs) <= 1:
+        return [extract(run_scenario(config)) for config in configs]
+    tasks = [
+        {"config_data": config_to_dict(config), "extract": extract}
+        for config in configs
+    ]
+    return run_tasks(
+        _scenario_worker, tasks, workers=workers, timeout_s=timeout_s, retries=retries
+    )
+
+
 def run_scenarios(
     base: ScenarioConfig,
     points: Sequence[dict[str, Any]],
@@ -154,6 +182,7 @@ def run_scenarios(
     workers: Optional[int] = None,
     timeout_s: Optional[float] = None,
     retries: int = 1,
+    cache: Optional["SweepCache"] = None,
 ) -> list[Any]:
     """Run one scenario per override point, fanned out across workers.
 
@@ -167,10 +196,18 @@ def run_scenarios(
             results are needed, so the run degrades gracefully to serial.
         workers: process count; ``None`` means one per CPU, ``1`` forces
             the serial path.
+        cache: a :class:`repro.harness.cache.SweepCache` consulted per
+            point *before* anything is dispatched; misses are simulated
+            and stored.  Defaults to the process-wide cache installed by
+            ``repro experiment --cache`` (``None`` → no caching).  Only
+            extracted values are cacheable: with ``extract=None`` the
+            points are counted as skipped.
 
     Returns:
-        One value per point, in point order, regardless of worker count.
+        One value per point, in point order, regardless of worker count
+        or cache warmth (extraction is pure and runs are deterministic).
     """
+    from repro.harness.cache import get_default_cache
     from repro.harness.sweep import apply_overrides
 
     # Stamp the process-wide --check-invariants override onto each config
@@ -180,15 +217,30 @@ def run_scenarios(
         effective_config(apply_overrides(base, point) if point else base)
         for point in points
     ]
-    if extract is None or resolve_workers(workers) <= 1 or len(configs) <= 1:
-        results = [run_scenario(config) for config in configs]
-        if extract is None:
-            return results
-        return [extract(result) for result in results]
-    tasks = [
-        {"config_data": config_to_dict(config), "extract": extract}
-        for config in configs
-    ]
-    return run_tasks(
-        _scenario_worker, tasks, workers=workers, timeout_s=timeout_s, retries=retries
-    )
+    if cache is None:
+        cache = get_default_cache()
+    if extract is None:
+        if cache is not None:
+            cache.stats.skipped += len(configs)
+        return [run_scenario(config) for config in configs]
+    if cache is None:
+        return _run_configs(configs, extract, workers, timeout_s, retries)
+
+    keys = [cache.key(config, extract) for config in configs]
+    results: list[Any] = [None] * len(configs)
+    pending: list[int] = []
+    for index, key in enumerate(keys):
+        hit, value = cache.get(key)
+        if hit:
+            results[index] = value
+        else:
+            pending.append(index)
+    if pending:
+        fresh = _run_configs(
+            [configs[i] for i in pending], extract, workers, timeout_s, retries
+        )
+        # Stored parent-side: spawn workers never touch the cache files.
+        for index, value in zip(pending, fresh):
+            cache.put(keys[index], value)
+            results[index] = value
+    return results

@@ -40,7 +40,7 @@ TOPOLOGIES = {
 
 DEFENSES = ("spi", "monitor-only", "always-on", "sampled", "flow-stats", "none")
 
-ENGINES = ("optimized", "reference")
+ENGINES = ("optimized", "calendar", "reference")
 
 # Process-wide override set by ``repro experiment --check-invariants``:
 # experiment runners build their own configs, so the flag is applied to

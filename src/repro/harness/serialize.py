@@ -35,6 +35,16 @@ def config_to_dict(config: Any) -> Any:
     return config
 
 
+def canonical_config_json(config: Any) -> str:
+    """Byte-stable canonical JSON for a config (sorted keys, no spaces).
+
+    Two configs serialize identically iff they are equal, so this string
+    is usable as identity — it is the config half of the sweep cache's
+    content address (:mod:`repro.harness.cache`).
+    """
+    return json.dumps(config_to_dict(config), sort_keys=True, separators=(",", ":"))
+
+
 def _build(cls: type, data: dict[str, Any]) -> Any:
     kwargs: dict[str, Any] = {}
     for f in dataclasses.fields(cls):

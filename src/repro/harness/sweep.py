@@ -70,6 +70,7 @@ def run_sweep(
     extract: Optional[Callable[[ScenarioResult], Any]] = None,
     timeout_s: Optional[float] = None,
     retries: int = 1,
+    cache: Optional[Any] = None,
 ) -> list[tuple[dict[str, Any], Any]]:
     """Run one scenario per override point, in order.
 
@@ -80,6 +81,10 @@ def run_sweep(
     ``extract`` function because live results do not pickle, and falls back
     to serial execution when it is omitted.  Point order — and, because
     runs are seed-deterministic, every value — is identical either way.
+
+    ``cache`` (a :class:`repro.harness.cache.SweepCache`, default the
+    process-wide one) lets previously extracted points skip simulation
+    entirely; see :func:`repro.harness.parallel.run_scenarios`.
     """
     from repro.harness.parallel import run_scenarios
 
@@ -90,5 +95,6 @@ def run_sweep(
         workers=workers,
         timeout_s=timeout_s,
         retries=retries,
+        cache=cache,
     )
     return list(zip(points, values))

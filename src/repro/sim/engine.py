@@ -51,14 +51,32 @@ class Event:
 
 
 class EventQueue:
-    """A cancellable min-heap of ``(time, seq, Event)`` entries."""
+    """A cancellable min-heap of ``(time, seq, Event)`` entries.
 
-    __slots__ = ("_heap", "_seq", "_live")
+    Cancellation is lazy: ``cancel`` marks the event and the tombstone
+    is reclaimed when it reaches the heap top — except that a workload
+    which cancels timers much faster than it pops (a pulsing attack
+    rearming retransmission timers, say) would grow the heap without
+    bound.  ``note_cancelled`` therefore triggers an in-place compaction
+    once tombstones both exceed :attr:`compact_threshold` and outnumber
+    the live events, bounding the physical heap at
+    ``live + max(compact_threshold, live)`` entries.  Compaction mutates
+    the heap list in place (slice assignment + heapify) because the run
+    loop holds a direct reference to it.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live", "_dead")
+
+    #: Minimum tombstone count before a cancel can trigger compaction;
+    #: keeps small queues from paying O(n) rebuilds for a handful of
+    #: cancelled timers.  Class-level so tests can lower it.
+    compact_threshold = 512
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._live = 0
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
@@ -100,6 +118,7 @@ class EventQueue:
         while heap:
             event = heapq.heappop(heap)[2]
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._live -= 1
             return event
@@ -110,6 +129,7 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
+            self._dead -= 1
         if not heap:
             return None
         return heap[0][0]
@@ -117,6 +137,25 @@ class EventQueue:
     def note_cancelled(self) -> None:
         """Account for an event cancelled via its handle."""
         self._live -= 1
+        self._dead += 1
+        if self._dead > self.compact_threshold and self._dead > self._live:
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every tombstone from the heap, in place."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._dead = 0
+
+    def accounting(self) -> dict[str, int]:
+        """Physical/live/tombstone tallies (for the invariant harness)."""
+        return {
+            "physical": len(self._heap),
+            "live": self._live,
+            "dead": self._dead,
+            "compact_threshold": self.compact_threshold,
+        }
 
 
 class Simulator:
@@ -252,6 +291,7 @@ class Simulator:
             while not self._stopped:
                 while heap and heap[0][2].cancelled:
                     heappop(heap)
+                    queue._dead -= 1
                 if not heap:
                     break
                 head = heap[0]

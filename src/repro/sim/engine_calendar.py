@@ -1,0 +1,449 @@
+"""Calendar-queue discrete-event scheduler.
+
+Flood scenarios hold hundreds of thousands of *near-future* events —
+per-packet arrivals, transmission completions, retransmission timers —
+whose time distribution is dense and roughly uniform over a short
+horizon.  That is the shape a calendar queue (Brown, CACM 1988)
+exploits: time is divided into fixed-width *windows*; an event whose
+window is beyond the current one is appended to an unsorted bucket in
+O(1) (``bucket = window mod nbuckets``), and only the events of the
+window currently being drained live in a small binary heap (``_ready``).
+
+CPython inverts Brown's constant factors: ``heapq`` sifts run in C, so
+the classic one-event-per-window geometry loses to the plain heap on
+interpreter overhead.  This implementation therefore keeps windows
+*coarse* — :attr:`~CalendarQueue.TARGET_PER_WINDOW` events each — so a
+window transfer moves hundreds of entries per Python-level step (the
+partition comprehension, ``extend`` and ``heapify`` all run at C
+speed), while pops work a ready heap that is orders of magnitude
+smaller (and cache-hotter) than one holding every pending event.  The
+win over the tuple heap comes from sift depth and locality, not from
+avoiding C heap operations.
+
+Correctness relies on two invariants:
+
+* every pending event whose window index is <= ``_window_index`` is in
+  ``_ready``; bucket entries all belong to later windows;
+* the window index of an entry is always computed as
+  ``int(time / width)`` — insert and scan use the *same* float
+  expression, so rounding can never strand an event between the two.
+
+Window indices are monotone in time (``t1 < t2`` implies
+``idx(t1) <= idx(t2)`` and equal times share a window), so draining
+windows in order and heap-ordering ``(time, seq)`` inside ``_ready``
+reproduces the global ``(time, seq)`` order *exactly* — the pop
+sequence is byte-identical to the tuple heap's, which the differential
+oracle (``repro check --scheduler-oracle``) asserts on whole scenarios.
+
+Operational details:
+
+* **occupancy-triggered recalibration** — whenever the live count
+  doubles or halves relative to the last calibration, the queue
+  rebuilds: bucket count ``~ live / TARGET_PER_WINDOW`` (power of two,
+  floored at :attr:`~CalendarQueue.MIN_BUCKETS`) and width
+  ``~ span * TARGET_PER_WINDOW / live``, so geometry tracks the
+  workload across load levels at amortized O(1) per operation;
+* **lazy cancellation** — ``cancel`` leaves a tombstone that is skimmed
+  at pop; cancel-heavy workloads trigger the same live-vs-dead
+  compaction rule as the tuple heap (see ``EventQueue.note_cancelled``),
+  so the structure stays bounded under pulsing attacks;
+* **sparse fallback** — if a whole "day" (one lap of the bucket array)
+  is scanned without finding an event, the scan jumps straight to the
+  earliest pending event's window instead of crawling empty windows.
+
+Batch inserts (``schedule_many`` / ``schedule_at_many``, used by the
+burst-coalescing fast path) go through ``push_many``, which hoists the
+per-entry attribute lookups exactly like the tuple-heap version.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Callable, Iterable, Sequence
+
+from repro.sim.engine import Event, SimulationError
+
+__all__ = ["CalendarQueue", "CalendarSimulator"]
+
+
+class CalendarQueue:
+    """Bucketed calendar queue with the tuple heap's exact pop order."""
+
+    __slots__ = (
+        "_buckets", "_nbuckets", "_width", "_window_index",
+        "_ready", "_seq", "_live", "_dead", "_in_buckets",
+        "_calibrated_live",
+    )
+
+    #: Minimum bucket count (bucket counts are kept powers of two).
+    MIN_BUCKETS = 16
+    #: Initial window width in simulated seconds; recalibrated as soon
+    #: as the occupancy trigger first fires.
+    INITIAL_WIDTH = 1e-3
+    #: Events a window is sized to hold (see the module docstring: the
+    #: coarse geometry is what beats C-implemented heapq).
+    TARGET_PER_WINDOW = 512
+    #: Live count below which no recalibration triggers (tiny queues
+    #: would otherwise rebuild constantly for no benefit).
+    MIN_CALIBRATION = 64
+    #: Tombstone floor before a cancel can trigger compaction (mirrors
+    #: ``EventQueue.compact_threshold``; class-level so tests can lower it).
+    compact_threshold = 512
+
+    def __init__(
+        self, width: float = INITIAL_WIDTH, nbuckets: int = MIN_BUCKETS
+    ) -> None:
+        self._width = width
+        self._nbuckets = nbuckets
+        self._buckets: list[list[tuple[float, int, Event]]] = [
+            [] for _ in range(nbuckets)
+        ]
+        # Events of windows <= _window_index, heap-ordered on (time, seq).
+        self._ready: list[tuple[float, int, Event]] = []
+        self._window_index = 0
+        self._seq = 0
+        self._live = 0
+        self._dead = 0
+        self._in_buckets = 0  # physical entries in buckets (incl. tombstones)
+        # Live count at the last geometry rebuild; growth past 2x (at
+        # push) or decay below half (at window advance) recalibrates.
+        self._calibrated_live = self.MIN_CALIBRATION
+
+    def __len__(self) -> int:
+        return self._live
+
+    # ------------------------------------------------------------- insert
+
+    def push(self, time: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Insert a callback at absolute ``time`` and return its handle."""
+        seq = self._seq
+        event = Event(time, seq, fn, label)
+        self._seq = seq + 1
+        self._live += 1
+        entry = (time, seq, event)
+        index = int(time / self._width)
+        if index <= self._window_index:
+            heappush(self._ready, entry)
+        else:
+            self._buckets[index % self._nbuckets].append(entry)
+            self._in_buckets += 1
+        if self._live > 2 * self._calibrated_live:
+            self._resize()
+        return event
+
+    def push_many(
+        self, items: Iterable[tuple[float, Callable[[], None], str]]
+    ) -> list[Event]:
+        """Batch insert; sequence numbers are assigned in iteration order."""
+        seq = self._seq
+        width = self._width
+        window_index = self._window_index
+        nbuckets = self._nbuckets
+        buckets = self._buckets
+        ready = self._ready
+        events: list[Event] = []
+        append = events.append
+        in_buckets = 0
+        for time, fn, label in items:
+            event = Event(time, seq, fn, label)
+            entry = (time, seq, event)
+            index = int(time / width)
+            if index <= window_index:
+                heappush(ready, entry)
+            else:
+                buckets[index % nbuckets].append(entry)
+                in_buckets += 1
+            seq += 1
+            append(event)
+        self._seq = seq
+        self._live += len(events)
+        self._in_buckets += in_buckets
+        if self._live > 2 * self._calibrated_live:
+            self._resize()
+        return events
+
+    # ------------------------------------------------------------ extract
+
+    def _peek_entry(self) -> tuple[float, int, Event] | None:
+        """The earliest live entry, left at ``_ready[0]`` (or ``None``).
+
+        Skims tombstones off the ready heap and advances the window scan
+        as needed; afterwards ``heappop(self._ready)`` removes exactly
+        this entry.
+        """
+        ready = self._ready
+        while True:
+            while ready and ready[0][2].cancelled:
+                heappop(ready)
+                self._dead -= 1
+            if ready:
+                return ready[0]
+            if not self._advance():
+                return None
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        entry = self._peek_entry()
+        if entry is None:
+            return None
+        heappop(self._ready)
+        self._live -= 1
+        return entry[2]
+
+    def peek_time(self) -> float | None:
+        """Return the time of the earliest non-cancelled event, or ``None``."""
+        entry = self._peek_entry()
+        return None if entry is None else entry[0]
+
+    def _advance(self) -> bool:
+        """Move the window forward until ``_ready`` holds live events.
+
+        Called only with ``_ready`` empty.  Returns False when no live
+        event remains anywhere (clearing leftover tombstones).  The scan
+        is driven by the *physical* bucket population, never the live
+        counter: cancelling an already-executed handle skews ``_live``
+        (exactly as it does on the tuple heap, where the run loop is
+        likewise structure-driven), and a skewed counter must not be
+        able to strand or drop pending work.
+        """
+        if self._in_buckets == 0:
+            return False
+        if (
+            self._live < self._calibrated_live // 2
+            and self._calibrated_live > self.MIN_CALIBRATION
+        ):
+            # The pending set decayed well below the calibrated load;
+            # rebuild so width/bucket count track it back down.
+            self._resize()
+            if self._in_buckets == 0:
+                return False
+        width = self._width
+        nbuckets = self._nbuckets
+        buckets = self._buckets
+        k = self._window_index + 1
+        scanned = 0
+        while True:
+            index = k % nbuckets
+            bucket = buckets[index]
+            if bucket:
+                stay = [e for e in bucket if int(e[0] / width) > k]
+                if len(stay) != len(bucket):
+                    if not stay and self._dead == 0:
+                        # Whole bucket transfers and there are no
+                        # tombstones anywhere: adopt it wholesale.
+                        go = bucket
+                        buckets[index] = []
+                        self._in_buckets -= len(go)
+                    else:
+                        go = [
+                            e for e in bucket
+                            if int(e[0] / width) <= k and not e[2].cancelled
+                        ]
+                        self._dead -= len(bucket) - len(stay) - len(go)
+                        buckets[index] = stay
+                        self._in_buckets -= len(bucket) - len(stay)
+                    if go:
+                        self._ready.extend(go)
+                        heapify(self._ready)
+                        self._window_index = k
+                        return True
+                    if self._in_buckets == 0:
+                        return False
+            scanned += 1
+            k += 1
+            if scanned >= nbuckets:
+                # A whole day was empty: jump straight to the earliest
+                # pending event instead of crawling vacant windows.
+                live_times = [
+                    e[0]
+                    for bucket in buckets
+                    for e in bucket
+                    if not e[2].cancelled
+                ]
+                if not live_times:
+                    # Only tombstones remain; reclaim them wholesale.
+                    for bucket in buckets:
+                        bucket.clear()
+                    self._dead -= self._in_buckets
+                    self._in_buckets = 0
+                    return False
+                k = int(min(live_times) / width)
+                scanned = 0
+
+    # ---------------------------------------------------------- lifecycle
+
+    def note_cancelled(self) -> None:
+        """Account for an event cancelled via its handle."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead > self.compact_threshold and self._dead > self._live:
+            self._resize()
+
+    def compact(self) -> None:
+        """Drop every tombstone and recalibrate the geometry."""
+        self._resize()
+
+    def _resize(self) -> None:
+        """Rebuild with recalibrated bucket count and window width.
+
+        Collects every live entry (dropping tombstones), sizes the
+        bucket array to ``live / TARGET_PER_WINDOW`` (power of two,
+        floored at ``MIN_BUCKETS``), re-estimates the window width from
+        the events' span, and redistributes.  The ready heap is mutated
+        in place (the run loop may alias it) and left empty: the next
+        pop's ``_advance`` finds the earliest window again.  Rebuilds
+        never reorder anything — ordering is a property of
+        ``(time, seq)`` alone.
+        """
+        entries = [e for e in self._ready if not e[2].cancelled]
+        for bucket in self._buckets:
+            entries.extend(e for e in bucket if not e[2].cancelled)
+        nbuckets = self.MIN_BUCKETS
+        target = self.TARGET_PER_WINDOW
+        while nbuckets * target < len(entries):
+            nbuckets *= 2
+        self._width = self._estimate_width(entries)
+        self._nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._ready.clear()
+        self._dead = 0
+        self._in_buckets = len(entries)
+        self._calibrated_live = max(len(entries), self.MIN_CALIBRATION)
+        if entries:
+            t_min = min(e[0] for e in entries)
+            # One window *before* the earliest event: everything lands in
+            # buckets and the next _advance collects the first window.
+            width = self._width
+            self._window_index = int(t_min / width) - 1
+            buckets = self._buckets
+            for entry in entries:
+                buckets[int(entry[0] / width) % nbuckets].append(entry)
+
+    def _estimate_width(self, entries: list[tuple[float, int, Event]]) -> float:
+        """Width that puts ``TARGET_PER_WINDOW`` events in a mean window."""
+        if len(entries) < 2:
+            return self._width
+        t_min = min(e[0] for e in entries)
+        t_max = max(e[0] for e in entries)
+        span = t_max - t_min
+        if span <= 0.0:
+            return self._width
+        return max(span * self.TARGET_PER_WINDOW / len(entries), 1e-9)
+
+    def accounting(self) -> dict[str, int]:
+        """Physical/live/tombstone tallies (for the invariant harness)."""
+        return {
+            "physical": len(self._ready) + self._in_buckets,
+            "live": self._live,
+            "dead": self._dead,
+            "compact_threshold": self.compact_threshold,
+        }
+
+
+class CalendarSimulator:
+    """Drop-in :class:`repro.sim.engine.Simulator` on a calendar queue.
+
+    Selected via ``Network(engine="calendar")`` /
+    ``ScenarioConfig(engine="calendar")``.  Semantics — FIFO tie order,
+    budget handling, ``until`` clamping, re-entrancy errors — match the
+    tuple-heap and reference engines exactly; the differential suites in
+    ``tests/test_calendar_queue.py`` and ``repro check
+    --scheduler-oracle`` hold all three to byte-identical behavior.
+    """
+
+    def __init__(self) -> None:
+        self._queue = CalendarQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        return self._queue.push(self._now + delay, fn, label)
+
+    def schedule_many(
+        self, items: Sequence[tuple[float, Callable[[], None], str]]
+    ) -> list[Event]:
+        """Schedule a batch of ``(delay, fn, label)`` entries in one call."""
+        now = self._now
+        for delay, _fn, _label in items:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule {delay!r}s in the past")
+        return self._queue.push_many(
+            (now + delay, fn, label) for delay, fn, label in items
+        )
+
+    def schedule_at(self, time: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``fn`` at absolute simulated ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, clock already at {self._now!r}"
+            )
+        return self._queue.push(time, fn, label)
+
+    def schedule_at_many(
+        self, items: Sequence[tuple[float, Callable[[], None], str]]
+    ) -> list[Event]:
+        """Schedule a batch of ``(time, fn, label)`` entries at absolute times."""
+        now = self._now
+        for time, _fn, _label in items:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule at {time!r}, clock already at {now!r}"
+                )
+        return self._queue.push_many(items)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event; cancelling twice is a no-op."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Execute events in time order; see the tuple-heap engine's docs."""
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        queue = self._queue
+        peek = queue._peek_entry
+        limit = float("inf") if until is None else until
+        budget = -1 if max_events is None else max(1, max_events)
+        try:
+            while not self._stopped:
+                entry = peek()
+                if entry is None:
+                    break
+                if entry[0] > limit:
+                    break
+                # _peek_entry left this exact entry at the heap top.
+                heappop(queue._ready)
+                queue._live -= 1
+                self._now = entry[0]
+                entry[2].fn()
+                executed += 1
+                if executed == budget:
+                    break
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+            return self._now
+        finally:
+            self.events_executed += executed
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of events still waiting to execute."""
+        return len(self._queue)

@@ -22,7 +22,11 @@ them periodically on the scenario's own clock plus once after the run:
   (``releases - hits == free_count <= capacity``) and no free-listed
   shell is still referenced by anything outside the pool, so a leaked
   reference to a recycled packet is a structured violation instead of
-  silent aliasing.
+  silent aliasing;
+* **scheduler accounting** — the event queue's physical entry count
+  equals live events plus tombstones and every tally is non-negative,
+  on both the tuple heap and the calendar queue (a lazy-cancel or
+  compaction bug shows up here as a leak, not as a mystery slowdown).
 
 Checkers read counters the substrate already maintains; when no harness
 is constructed the only residue in the hot paths is one attribute
@@ -59,6 +63,7 @@ __all__ = [
     "MonitorAccountingChecker",
     "BudgetDpiChecker",
     "PacketPoolChecker",
+    "SchedulerAccountingChecker",
 ]
 
 #: Relative tolerance for scaled (1/sampling_probability) float counters.
@@ -656,6 +661,42 @@ class PacketPoolChecker(InvariantChecker):
                 )
 
 
+class SchedulerAccountingChecker(InvariantChecker):
+    """The event queue's physical/live/tombstone tallies tie out.
+
+    Both the tuple heap and the calendar queue maintain ``physical ==
+    live + dead`` through every push, lazy-cancel skim, window advance,
+    compaction and resize; a drift means entries were leaked or double
+    counted.  The reference engine keeps no tallies, so the checker
+    no-ops there (``accounting()`` absent).
+    """
+
+    name = "scheduler-accounting"
+
+    def __init__(self, net: "Network") -> None:
+        self.net = net
+
+    def check(self, now: float) -> None:
+        queue = getattr(self.net.sim, "_queue", None)
+        accounting = getattr(queue, "accounting", None)
+        if accounting is None:
+            return
+        acc = accounting()
+        trace = (f"accounting={acc}",)
+        for key in ("physical", "live", "dead"):
+            if acc[key] < 0:
+                self.violation(
+                    f"scheduler {key} count is negative ({acc[key]})",
+                    now=now, trace=trace,
+                )
+        if acc["physical"] != acc["live"] + acc["dead"]:
+            self.violation(
+                "physical queue entries != live + tombstones "
+                f"({acc['physical']} != {acc['live']} + {acc['dead']})",
+                now=now, trace=trace,
+            )
+
+
 # ------------------------------------------------------------------ harness
 
 
@@ -691,6 +732,7 @@ class InvariantHarness:
         pool = getattr(net, "packet_pool", None)
         if pool is not None:
             harness.add(PacketPoolChecker(pool))
+        harness.add(SchedulerAccountingChecker(net))
         return harness
 
     def add(self, checker: InvariantChecker) -> InvariantChecker:

@@ -1,0 +1,359 @@
+"""Calendar-queue scheduler: parity with the tuple heap + compaction bounds.
+
+The calendar engine (`repro.sim.engine_calendar`) must be byte-for-byte
+interchangeable with the tuple-heap engine: identical pop order (time
+order, FIFO ties), identical clock/budget/cancel semantics, identical
+``events_executed``.  Hypothesis drives both through adversarial time
+distributions — same-instant bursts, far-future stragglers (which force
+the sparse-fallback window jump), zero-delay self-reschedules, and
+cancels — and the compaction tests pin the tombstone bound the PR 5
+fix promises on *both* queue implementations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventQueue, SimulationError, Simulator
+from repro.sim.engine_calendar import CalendarQueue, CalendarSimulator
+
+QUEUES = pytest.mark.parametrize(
+    "make_queue", [EventQueue, CalendarQueue], ids=["heap", "calendar"]
+)
+
+# Adversarial time distributions: dense near-future, exact-tie bursts,
+# and far-future stragglers (stragglers make the window scan lap a whole
+# day and exercise the sparse jump).
+adversarial_times = st.one_of(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.sampled_from([0.0, 0.25, 0.25, 0.5, 0.5, 0.5]),
+    st.floats(min_value=1e3, max_value=1e4, allow_nan=False),
+)
+
+
+class TestCalendarSimulatorSemantics:
+    """The engine-contract cases every engine must satisfy."""
+
+    def test_runs_in_time_order_with_fifo_ties(self):
+        sim = CalendarSimulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 2.0
+        assert sim.events_executed == 3
+
+    def test_until_clamps_clock_when_queue_drains(self):
+        sim = CalendarSimulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=5.0) == 5.0
+
+    def test_nonpositive_max_events_runs_one_event(self):
+        sim = CalendarSimulator()
+        ran = []
+        sim.schedule(1.0, lambda: ran.append(1))
+        sim.schedule(2.0, lambda: ran.append(2))
+        sim.run(max_events=0)
+        assert ran == [1]
+
+    def test_negative_delay_and_past_schedule_rejected(self):
+        sim = CalendarSimulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(1.0, lambda: None, ""), (-1.0, lambda: None, "")])
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_not_reentrant(self):
+        sim = CalendarSimulator()
+        caught = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                caught.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(caught) == 1
+
+    def test_stop_halts_after_current_event(self):
+        sim = CalendarSimulator()
+        ran = []
+        sim.schedule(1.0, lambda: (ran.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: ran.append(2))
+        sim.run()
+        assert ran == [1]
+        assert sim.now == 1.0
+
+
+class TestQueuePopOrderParity:
+    """Queue-level: identical pop sequences under adversarial inputs."""
+
+    @given(times=st.lists(adversarial_times, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_pop_order_matches_heap(self, times):
+        def drain(queue):
+            for time in times:
+                queue.push(time, lambda: None, "")
+            order = []
+            while True:
+                event = queue.pop()
+                if event is None:
+                    break
+                order.append((event.time, event.seq))
+            return order
+
+        order = drain(CalendarQueue())
+        assert order == drain(EventQueue())
+        assert order == sorted(order)
+
+    @given(
+        times=st.lists(adversarial_times, min_size=1, max_size=120),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=120),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pop_order_matches_heap_with_cancels(self, times, cancel_mask):
+        def drain(queue):
+            handles = [queue.push(time, lambda: None, "") for time in times]
+            for handle, cancel in zip(handles, cancel_mask):
+                if cancel:
+                    handle.cancel()
+                    queue.note_cancelled()
+            order = []
+            while True:
+                event = queue.pop()
+                if event is None:
+                    break
+                order.append((event.time, event.seq))
+            return order
+
+        assert drain(CalendarQueue()) == drain(EventQueue())
+
+    @given(times=st.lists(adversarial_times, min_size=1, max_size=150))
+    @settings(max_examples=50, deadline=None)
+    def test_push_many_matches_serial_pushes(self, times):
+        batched = CalendarQueue()
+        batched.push_many([(time, lambda: None, "") for time in times])
+        serial = CalendarQueue()
+        for time in times:
+            serial.push(time, lambda: None, "")
+
+        def drain(queue):
+            order = []
+            while True:
+                event = queue.pop()
+                if event is None:
+                    break
+                order.append((event.time, event.seq))
+            return order
+
+        assert drain(batched) == drain(serial)
+
+
+class TestSimulatorDifferential:
+    """Whole-engine randomized parity, calendar vs tuple heap."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(adversarial_times, st.booleans()), min_size=1, max_size=40
+        ),
+        until=st.one_of(st.none(), st.floats(0.0, 12.0, allow_nan=False)),
+        max_events=st.one_of(st.none(), st.integers(1, 30)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_same_schedule_same_execution(self, ops, until, max_events):
+        def drive(sim):
+            log = []
+            handles = [
+                sim.schedule(delay, lambda i=i, log=log: log.append(i))
+                for i, (delay, _) in enumerate(ops)
+            ]
+            for handle, (_, cancel) in zip(handles, ops):
+                if cancel:
+                    sim.cancel(handle)
+            sim.run(until=until, max_events=max_events)
+            return log, sim.now, sim.events_executed
+
+        assert drive(CalendarSimulator()) == drive(Simulator())
+
+    @given(
+        delays=st.lists(st.floats(0.0, 2.0, allow_nan=False),
+                        min_size=1, max_size=10),
+        generations=st.integers(1, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_zero_delay_self_reschedule_parity(self, delays, generations):
+        def drive(sim):
+            log = []
+
+            def spawn(tag, depth):
+                log.append((round(sim.now, 9), tag, depth))
+                if depth < generations:
+                    # Zero-delay self-reschedule: must run later this same
+                    # instant, after already-queued ties (FIFO).
+                    sim.schedule(0.0, lambda: spawn(tag, depth + 1))
+
+            for i, delay in enumerate(delays):
+                sim.schedule(delay, lambda i=i: spawn(i, 0))
+            sim.run(until=10.0)
+            return log, sim.now, sim.events_executed
+
+        assert drive(CalendarSimulator()) == drive(Simulator())
+
+    @given(
+        ops=st.lists(st.tuples(adversarial_times, st.integers(0, 3)),
+                     min_size=1, max_size=25)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancel_during_execution_parity(self, ops):
+        def drive(sim):
+            log = []
+            handles = []
+
+            def fire(i, victim):
+                log.append((round(sim.now, 9), i))
+                # Cancel a pending handle mid-run (never an executed one:
+                # that is caller error on every engine).
+                target = handles[victim % len(handles)]
+                if not target.cancelled and target.time > sim.now:
+                    sim.cancel(target)
+
+            for i, (delay, victim) in enumerate(ops):
+                handles.append(sim.schedule(delay, lambda i=i, v=victim: fire(i, v)))
+            sim.run()
+            return log, sim.now, sim.events_executed
+
+        assert drive(CalendarSimulator()) == drive(Simulator())
+
+
+class TestCompactionBounds:
+    """Cancel-heavy workloads must not grow either queue unboundedly."""
+
+    @QUEUES
+    def test_cancel_heavy_workload_is_bounded(self, make_queue, monkeypatch):
+        monkeypatch.setattr(make_queue, "compact_threshold", 64)
+        queue = make_queue()
+        handles = []
+        for i in range(5000):
+            handles.append(queue.push(float(i % 97), lambda: None, ""))
+        for handle in handles[:4500]:
+            handle.cancel()
+            queue.note_cancelled()
+        acc = queue.accounting()
+        assert acc["physical"] == acc["live"] + acc["dead"]
+        # The PR 5 fix: tombstones can never outnumber both the live
+        # events and the threshold, so the physical size stays bounded.
+        assert acc["dead"] <= max(acc["live"], 64)
+        assert acc["physical"] <= acc["live"] + max(acc["live"], 64)
+        survivors = 0
+        while queue.pop() is not None:
+            survivors += 1
+        assert survivors == 500
+
+    @QUEUES
+    def test_compact_is_idempotent_and_preserves_order(self, make_queue):
+        queue = make_queue()
+        handles = [queue.push(float(i), lambda: None, "") for i in range(100)]
+        for handle in handles[::2]:
+            handle.cancel()
+            queue.note_cancelled()
+        queue.compact()
+        queue.compact()
+        acc = queue.accounting()
+        assert acc["dead"] == 0
+        assert acc["physical"] == acc["live"] == 50
+        order = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            order.append((event.time, event.seq))
+        assert order == sorted(order)
+        assert len(order) == 50
+
+    def test_run_loop_survives_compaction_mid_run(self):
+        # Simulator.run holds a direct reference to the queue's internal
+        # list, so compaction must mutate it in place.  Cancel enough
+        # timers from inside callbacks to trigger compaction mid-run.
+        for make_sim in (Simulator, CalendarSimulator):
+            sim = make_sim()
+            queue = sim._queue
+            old_threshold = queue.compact_threshold
+            try:
+                type(queue).compact_threshold = 16
+                log = []
+                timers = [
+                    sim.schedule(5.0 + i * 0.001, lambda: log.append("timer"))
+                    for i in range(200)
+                ]
+
+                def cancel_all():
+                    log.append("cancel")
+                    for timer in timers:
+                        sim.cancel(timer)
+
+                sim.schedule(1.0, cancel_all)
+                sim.schedule(2.0, lambda: log.append("after"))
+                sim.run()
+                assert log == ["cancel", "after"]
+                acc = queue.accounting()
+                assert acc["physical"] == acc["live"] + acc["dead"] == 0
+            finally:
+                type(queue).compact_threshold = old_threshold
+
+
+class TestCalendarGeometry:
+    def test_resize_grows_and_shrinks_with_occupancy(self):
+        # Windows are coarse (TARGET_PER_WINDOW events each), so the
+        # bucket array only grows past MIN_BUCKETS once the pending set
+        # exceeds MIN_BUCKETS * TARGET_PER_WINDOW.
+        grow_past = 2 * CalendarQueue.MIN_BUCKETS * CalendarQueue.TARGET_PER_WINDOW
+        queue = CalendarQueue()
+        handles = [
+            queue.push(i * 0.01, lambda: None, "") for i in range(grow_past)
+        ]
+        assert queue._nbuckets > CalendarQueue.MIN_BUCKETS
+        assert queue._width != CalendarQueue.INITIAL_WIDTH
+        for handle in handles:
+            handle.cancel()
+            queue.note_cancelled()
+        assert queue.pop() is None
+        queue.compact()
+        assert queue._nbuckets == CalendarQueue.MIN_BUCKETS
+
+    def test_width_recalibrates_at_moderate_occupancy(self):
+        # The 10k-pending regime: far fewer events than one bucket-growth
+        # step, yet the width must still re-estimate away from the
+        # initial guess — otherwise each bucket spans hundreds of lapped
+        # windows and every pop pays an O(bucket) partition.
+        queue = CalendarQueue()
+        horizon = 10.0
+        queue.push_many([
+            ((i * 0.6180339887) % 1.0 * horizon, lambda: None, "")
+            for i in range(10_000)
+        ])
+        per_window = 10_000 * queue._width / horizon
+        assert per_window == pytest.approx(queue.TARGET_PER_WINDOW, rel=0.01)
+
+    def test_accounting_identity_through_mixed_workload(self):
+        queue = CalendarQueue()
+        handles = []
+        for i in range(1000):
+            handles.append(queue.push((i % 13) * 7.3, lambda: None, ""))
+        for handle in handles[::3]:
+            handle.cancel()
+            queue.note_cancelled()
+        for _ in range(200):
+            queue.pop()
+        acc = queue.accounting()
+        assert acc["physical"] == acc["live"] + acc["dead"]
+        assert acc["live"] >= 0 and acc["dead"] >= 0

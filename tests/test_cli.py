@@ -52,6 +52,19 @@ class TestRun:
         payload = json.loads(capsys.readouterr().out)
         assert payload["success_after_attack"] > 0.9
 
+    def test_engine_flag_results_identical(self, capsys):
+        payloads = {}
+        for engine in ("optimized", "calendar"):
+            assert main([
+                "run", "--duration", "10", "--engine", engine, "--json",
+            ]) == 0
+            payloads[engine] = json.loads(capsys.readouterr().out)
+        assert payloads["optimized"] == payloads["calendar"]
+
+    def test_engine_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--engine", "quantum"])
+
 
 class TestExperiment:
     def test_quick_experiment_prints_table(self, capsys):
@@ -68,3 +81,50 @@ class TestExperiment:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "e99"])
+
+    def test_cached_experiment_hits_on_rerun(self, capsys, tmp_path):
+        args = [
+            "experiment", "e3", "--quick", "--workers", "1",
+            "--cache", "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "misses" in cold and "0 hits" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 misses" in warm and "0 hits" not in warm
+        # Tables are byte-identical cold vs warm (stats line aside).
+        strip = lambda text: text.split("cache:")[0]  # noqa: E731
+        assert strip(cold) == strip(warm)
+
+    def test_no_cache_is_the_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["experiment", "e3", "--quick", "--workers", "1"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCacheCommand:
+    def test_info_and_clear_roundtrip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "info"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+        assert main([
+            "experiment", "e3", "--quick", "--workers", "1", "--cache",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "entries: 0" not in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "info"]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+
+class TestCheckSchedulerOracle:
+    def test_one_seed_three_engines(self, capsys):
+        assert main(["check", "--seeds", "1", "--scheduler-oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS: 1/1 seeds byte-identical" in out

@@ -254,6 +254,7 @@ class TestHarness:
             "FlowTableCoherenceChecker",
             "TcpLegalityChecker",
             "PacketPoolChecker",
+            "SchedulerAccountingChecker",
         }
         harness.check_now()
         assert harness.checks_run == 1

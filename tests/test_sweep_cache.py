@@ -1,0 +1,218 @@
+"""Content-addressed sweep result cache: keys, poisoning guard, wiring.
+
+The cache key is ``sha256(version + package-tree hash + extractor id +
+canonical config JSON)``, so three things must each invalidate it: any
+config/seed change, any extractor change, and — the poisoning guard —
+*any* source change under the package root.  Corrupted entries must
+behave as misses (evicted, warned, run proceeds), and the
+``run_scenarios`` integration must return byte-identical values cold,
+warm, and with caching off.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import pytest
+
+from repro.harness.cache import (
+    SweepCache,
+    default_cache_dir,
+    get_default_cache,
+    invalidate_tree_hash,
+    package_tree_hash,
+    set_default_cache,
+)
+from repro.harness.parallel import run_scenarios
+from repro.harness.scenario import ScenarioConfig
+
+
+def _quick_config(**kwargs) -> ScenarioConfig:
+    return ScenarioConfig(topology="single", duration_s=4.0, **kwargs)
+
+
+# Module-level so it has a stable __module__:__qualname__ identity.
+def _extract_final_time(result):
+    return result.net.sim.now
+
+
+def _extract_detections(result):
+    return len(result.detection_times())
+
+
+@pytest.fixture
+def fake_package(tmp_path):
+    """A miniature package tree the hash can be pointed at."""
+    root = tmp_path / "pkg"
+    (root / "sub").mkdir(parents=True)
+    (root / "a.py").write_text("A = 1\n")
+    (root / "sub" / "b.py").write_text("B = 2\n")
+    yield root
+    invalidate_tree_hash(root)
+
+
+class TestPackageTreeHash:
+    def test_stable_and_memoized(self, fake_package):
+        first = package_tree_hash(fake_package)
+        assert package_tree_hash(fake_package) == first
+
+    def test_mutating_a_file_changes_the_hash(self, fake_package):
+        before = package_tree_hash(fake_package)
+        (fake_package / "sub" / "b.py").write_text("B = 3\n")
+        # Memoized per process: stale until explicitly invalidated (a
+        # fresh interpreter — the real consumer — always re-hashes).
+        assert package_tree_hash(fake_package) == before
+        invalidate_tree_hash(fake_package)
+        assert package_tree_hash(fake_package) != before
+
+    def test_adding_a_file_changes_the_hash(self, fake_package):
+        before = package_tree_hash(fake_package)
+        (fake_package / "c.py").write_text("C = 1\n")
+        invalidate_tree_hash(fake_package)
+        assert package_tree_hash(fake_package) != before
+
+    def test_default_root_is_the_repro_package(self):
+        import repro
+
+        assert package_tree_hash() == package_tree_hash(
+            __import__("os").path.dirname(repro.__file__)
+        )
+
+
+class TestCacheKey:
+    def test_key_changes_when_source_changes(self, tmp_path, fake_package):
+        """The poisoning guard: a src edit must miss, never serve stale."""
+        cache = SweepCache(tmp_path / "cache", package_root=fake_package)
+        config = _quick_config()
+        key_before = cache.key(config, _extract_final_time)
+        cache.put(key_before, 123.0)
+        assert cache.get(key_before) == (True, 123.0)
+
+        (fake_package / "a.py").write_text("A = 999\n")
+        invalidate_tree_hash(fake_package)
+        key_after = cache.key(config, _extract_final_time)
+        assert key_after != key_before
+        hit, _ = cache.get(key_after)
+        assert not hit
+
+    def test_key_depends_on_config_and_extractor(self, tmp_path, fake_package):
+        cache = SweepCache(tmp_path / "cache", package_root=fake_package)
+        base = _quick_config()
+        assert cache.key(base, _extract_final_time) != cache.key(
+            _quick_config(seed=2), _extract_final_time
+        )
+        assert cache.key(base, _extract_final_time) != cache.key(
+            base, _extract_detections
+        )
+        # Deterministic across instances pointing at the same store.
+        again = SweepCache(tmp_path / "cache", package_root=fake_package)
+        assert cache.key(base, _extract_final_time) == again.key(
+            base, _extract_final_time
+        )
+
+
+class TestCorruptedEntries:
+    def test_truncated_pickle_is_a_miss_and_evicted(self, tmp_path, caplog):
+        cache = SweepCache(tmp_path)
+        key = "0" * 64
+        cache.put(key, {"value": list(range(100))})
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:10])  # truncate mid-stream
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            hit, value = cache.get(key)
+        assert not hit and value is None
+        assert not path.exists(), "corrupted entry must be evicted"
+        assert cache.stats.evictions == 1
+        assert any("corrupted" in record.message for record in caplog.records)
+        # The run proceeds: a re-store then hits normally.
+        cache.put(key, 42)
+        assert cache.get(key) == (True, 42)
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = "f" * 64
+        cache._path(key).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(key).write_bytes(b"not a pickle at all")
+        hit, _ = cache.get(key)
+        assert not hit
+        assert cache.stats.evictions == 1
+
+    def test_atomic_put_leaves_no_tmp_files(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put("a" * 64, [1, 2, 3])
+        leftovers = [p for p in tmp_path.iterdir() if not p.name.endswith(".pkl")]
+        assert leftovers == []
+
+
+class TestRunScenariosIntegration:
+    def test_cold_then_warm_byte_identical(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        base = _quick_config()
+        points = [{"seed": seed} for seed in (1, 2)]
+        plain = run_scenarios(base, points, extract=_extract_detections)
+        cold = run_scenarios(
+            base, points, extract=_extract_detections, cache=cache
+        )
+        assert cache.stats.misses == 2 and cache.stats.stores == 2
+        warm = run_scenarios(
+            base, points, extract=_extract_detections, cache=cache
+        )
+        assert cache.stats.hits == 2
+        assert pickle.dumps(plain) == pickle.dumps(cold) == pickle.dumps(warm)
+
+    def test_partial_warmth_runs_only_the_misses(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        base = _quick_config()
+        run_scenarios(base, [{"seed": 1}], extract=_extract_detections, cache=cache)
+        values = run_scenarios(
+            base,
+            [{"seed": 1}, {"seed": 3}],
+            extract=_extract_detections,
+            cache=cache,
+        )
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2  # seed 1 cold + seed 3
+        assert values == run_scenarios(
+            base, [{"seed": 1}, {"seed": 3}], extract=_extract_detections
+        )
+
+    def test_no_extractor_counts_as_skipped(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        results = run_scenarios(_quick_config(), [{}], cache=cache)
+        assert len(results) == 1
+        assert cache.stats.skipped == 1
+        assert cache.stats.hits == cache.stats.misses == 0
+        assert cache.entries() == []
+
+    def test_default_cache_is_off_until_installed(self, tmp_path):
+        assert get_default_cache() is None
+        cache = SweepCache(tmp_path)
+        try:
+            set_default_cache(cache)
+            run_scenarios(
+                _quick_config(), [{"seed": 5}], extract=_extract_detections
+            )
+            assert cache.stats.misses == 1
+        finally:
+            set_default_cache(None)
+        assert get_default_cache() is None
+
+
+class TestCacheDirAndMaintenance:
+    def test_env_var_overrides_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert str(default_cache_dir()) == ".repro-cache"
+
+    def test_info_and_clear(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        info = cache.info()
+        assert info["entries"] == 0 and info["bytes"] == 0
+        cache.put("1" * 64, "x")
+        cache.put("2" * 64, "y")
+        info = cache.info()
+        assert info["entries"] == 2 and info["bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.info()["entries"] == 0
