@@ -7,6 +7,8 @@ Subcommands::
     python -m repro experiment e1 [--quick] [--markdown] [--workers N] [--cache]
     python -m repro cache info|clear
     python -m repro check [--seeds 25] [--parallel-oracle] [--scheduler-oracle]
+    python -m repro serve [--port 8089]       # long-running control-plane service
+    python -m repro ctl status|launch|retune|block|drain ...   # talk to it
 
 ``run`` executes a single scenario and prints the detection timeline and
 service summary; ``experiment`` regenerates one of the evaluation tables
@@ -21,12 +23,23 @@ implementations — and, with ``--scheduler-oracle``, on the
 calendar-queue engine — with runtime invariant checking enabled.
 ``run`` and ``experiment`` both accept ``--check-invariants`` to enable
 the :mod:`repro.sim.invariants` sweeps during normal runs.
+
+``serve`` turns the batch harness into a long-running service
+(:mod:`repro.service`): scenarios become *sessions* launched, retuned,
+blocked/whitelisted and drained over a local HTTP/JSON API while they
+simulate in bounded slices.  ``ctl`` is the thin client: ``status``
+(``--json`` for the stable machine schema), ``launch``, ``retune``,
+``block``/``unblock``, ``whitelist``/``unwhitelist``, ``drain``,
+``result``, ``delete`` and ``shutdown``.  ``check --serve-oracle``
+asserts that an unmutated hosted session fingerprints byte-identically
+to the batch path.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -131,6 +144,86 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="cache location (default: $REPRO_CACHE_DIR "
                             "or ./.repro-cache)")
+    cache.add_argument("--json", action="store_true",
+                       help="machine-readable output (stable schema: "
+                            "path, entries, bytes)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running control-plane service (HTTP/JSON API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8089,
+                       help="listen port (0 picks an ephemeral port; "
+                            "default: 8089)")
+    serve.add_argument("--slice-s", type=float, default=0.25, metavar="S",
+                       help="simulated seconds per cooperative slice")
+    serve.add_argument("--slice-events", type=int, default=50_000, metavar="N",
+                       help="max events per cooperative slice")
+
+    ctl = sub.add_parser("ctl", help="control a running `repro serve`")
+    ctl.add_argument("--host", default="127.0.0.1")
+    ctl.add_argument("--port", type=int, default=8089)
+    ctl_sub = ctl.add_subparsers(dest="action", required=True)
+
+    ctl_status = ctl_sub.add_parser("status", help="service + session overview")
+    ctl_status.add_argument("--json", action="store_true",
+                            help="machine-readable output (stable schema: "
+                                 "sessions, by_state, session_list)")
+
+    ctl_launch = ctl_sub.add_parser("launch", help="create (and start) a session")
+    ctl_launch.add_argument("--config", metavar="PATH",
+                            help="scenario config JSON (from `repro run "
+                                 "--save`); omitted fields keep defaults")
+    ctl_launch.add_argument("--no-start", action="store_true",
+                            help="register the session but leave it pending")
+    ctl_launch.add_argument("--slice-s", type=float, default=None, metavar="S")
+    ctl_launch.add_argument("--slice-events", type=int, default=None, metavar="N")
+
+    ctl_start = ctl_sub.add_parser("start", help="start a pending session")
+    ctl_start.add_argument("session")
+
+    ctl_retune = ctl_sub.add_parser(
+        "retune", help="schedule a live parameter change on the sim clock")
+    ctl_retune.add_argument("session")
+    ctl_retune.add_argument("--target", default="detector",
+                            choices=("detector", "monitor", "budget", "spi"))
+    ctl_retune.add_argument("--param", action="append", default=[],
+                            metavar="KEY=VALUE", required=True,
+                            help="tunable to change (repeatable)")
+    ctl_retune.add_argument("--at", type=float, default=None, metavar="T",
+                            help="simulated time to apply (default: now)")
+
+    for name, help_text in (
+        ("block", "install an operator block on a source"),
+        ("unblock", "lift an operator block"),
+        ("whitelist", "add a source to the never-block whitelist"),
+        ("unwhitelist", "remove a source from the whitelist"),
+    ):
+        p = ctl_sub.add_parser(name, help=help_text)
+        p.add_argument("session")
+        p.add_argument("src_ip")
+        if name == "block":
+            p.add_argument("--victim", default=None, metavar="IP",
+                           help="limit the block to one victim's switches")
+        if name == "unblock":
+            p.add_argument("--victim", default=None, metavar="IP")
+        if name in ("block", "whitelist"):
+            p.add_argument("--duration-s", type=float, default=None, metavar="S",
+                           help="expiry on the sim clock (default: permanent)")
+        p.add_argument("--at", type=float, default=None, metavar="T")
+
+    ctl_drain = ctl_sub.add_parser("drain", help="gracefully wind a session down")
+    ctl_drain.add_argument("session")
+    ctl_drain.add_argument("--grace-s", type=float, default=None, metavar="S")
+
+    ctl_result = ctl_sub.add_parser("result", help="final summary + fingerprint")
+    ctl_result.add_argument("session")
+
+    ctl_delete = ctl_sub.add_parser("delete", help="forget a terminal session")
+    ctl_delete.add_argument("session")
+
+    ctl_sub.add_parser("shutdown", help="drain all sessions and stop the service")
 
     check = sub.add_parser(
         "check",
@@ -153,6 +246,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="additionally run every seed on the calendar-queue "
                             "engine and require heap x calendar x reference "
                             "fingerprints to be byte-identical")
+    check.add_argument("--serve-oracle", action="store_true",
+                       help="additionally host every seed in a control-plane "
+                            "session stepped in bounded slices and require a "
+                            "fingerprint byte-identical to the batch path")
     check.add_argument("--json", action="store_true",
                        help="machine-readable per-seed report")
     return parser
@@ -242,6 +339,14 @@ def _command_experiment(args: argparse.Namespace) -> int:
     kwargs["workers"] = args.workers
     try:
         table = fn(**kwargs)
+    except KeyboardInterrupt:
+        # Tear the worker pool down *here*, not at atexit: the spawn
+        # workers are mid-simulation and would otherwise be orphaned.
+        from repro.harness.parallel import shutdown_pool
+
+        shutdown_pool()
+        print("interrupted; worker pool terminated", file=sys.stderr)
+        return 130
     finally:
         if cache is not None:
             from repro.harness.cache import set_default_cache
@@ -259,9 +364,16 @@ def _command_cache(args: argparse.Namespace) -> int:
     cache = SweepCache(args.cache_dir)
     if args.action == "info":
         info = cache.info()
-        print(f"path   : {info['path']}")
-        print(f"entries: {info['entries']}")
-        print(f"bytes  : {info['bytes']}")
+        if args.json:
+            print(json.dumps(
+                {"path": str(info["path"]),
+                 "entries": info["entries"],
+                 "bytes": info["bytes"]},
+                indent=2, sort_keys=True))
+        else:
+            print(f"path   : {info['path']}")
+            print(f"entries: {info['entries']}")
+            print(f"bytes  : {info['bytes']}")
     else:
         removed = cache.clear()
         print(f"removed {removed} entries from {cache.root}")
@@ -278,6 +390,7 @@ def _command_check(args: argparse.Namespace) -> int:
         workers=args.workers,
         fastpath_oracle=args.fastpath_oracle,
         scheduler_oracle=args.scheduler_oracle,
+        serve_oracle=args.serve_oracle,
         progress=None if args.json else lambda o: print(describe_outcome(o)),
     )
     failed = [o for o in report.outcomes if not o.matched]
@@ -289,6 +402,7 @@ def _command_check(args: argparse.Namespace) -> int:
                 {"seed": o.seed, "detail": o.detail} for o in failed
             ],
             "parallel_oracle": report.parallel_matched,
+            "serve_oracle": report.serve_matched,
             "passed": report.passed,
         }, indent=2))
     else:
@@ -297,6 +411,10 @@ def _command_check(args: argparse.Namespace) -> int:
             "" if report.parallel_matched is None
             else f", parallel oracle {'ok' if report.parallel_matched else 'MISMATCH'}"
         )
+        if report.serve_matched is not None:
+            oracle += (
+                f", serve oracle {'ok' if report.serve_matched else 'MISMATCH'}"
+            )
         print(
             f"{verdict}: {len(report.outcomes) - len(failed)}/"
             f"{len(report.outcomes)} seeds byte-identical{oracle}"
@@ -304,19 +422,168 @@ def _command_check(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import serve
+
+    def announce(server) -> None:
+        print(f"repro control plane on http://{server.host}:{server.port}",
+              flush=True)
+
+    try:
+        asyncio.run(serve(
+            args.host, args.port,
+            slice_s=args.slice_s, slice_events=args.slice_events,
+            announce=announce,
+        ))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """``key=value`` pairs → a params dict (numbers parsed, else strings)."""
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param needs KEY=VALUE, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _command_ctl(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        if args.action == "status":
+            status = client.status()
+            if args.json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return 0
+            by_state = ", ".join(
+                f"{state}={count}"
+                for state, count in sorted(status["by_state"].items())
+                if count
+            ) or "none"
+            print(f"sessions: {status['sessions']} ({by_state})")
+            for row in status["session_list"]:
+                blocks = len(row["mitigation"]["active_blocks"])
+                print(
+                    f"  {row['id']:>4} {row['state']:<8} "
+                    f"t={row['sim_time']:<8g} of {row['duration_s']:g}s "
+                    f"{row['topology']}/{row['defense']}/{row['detector']} "
+                    f"detections={row['detections']} blocks={blocks} "
+                    f"reconfigs={row['reconfigs']}"
+                )
+            return 0
+        if args.action == "launch":
+            config = {}
+            if args.config:
+                with open(args.config) as handle:
+                    config = json.load(handle)
+            summary = client.create_session(
+                config,
+                start=not args.no_start,
+                slice_s=args.slice_s,
+                slice_events=args.slice_events,
+            )
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        if args.action == "start":
+            print(json.dumps(client.request(
+                "POST", f"/sessions/{args.session}/start", {}
+            ), indent=2, sort_keys=True))
+            return 0
+        if args.action == "retune":
+            outcome = client.retune(
+                args.session, args.target, _parse_params(args.param),
+                at=args.at,
+            )
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+            return 0
+        if args.action in ("block", "unblock", "whitelist", "unwhitelist"):
+            body = {"src_ip": args.src_ip}
+            if getattr(args, "victim", None) is not None:
+                body["victim_ip"] = args.victim
+            if getattr(args, "duration_s", None) is not None:
+                body["duration_s"] = args.duration_s
+            if args.at is not None:
+                body["at"] = args.at
+            outcome = client.request(
+                "POST", f"/sessions/{args.session}/{args.action}", body
+            )
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+            return 0
+        if args.action == "drain":
+            print(json.dumps(
+                client.drain(args.session, grace_s=args.grace_s),
+                indent=2, sort_keys=True))
+            return 0
+        if args.action == "result":
+            print(json.dumps(client.result(args.session),
+                             indent=2, sort_keys=True))
+            return 0
+        if args.action == "delete":
+            print(json.dumps(client.delete(args.session),
+                             indent=2, sort_keys=True))
+            return 0
+        if args.action == "shutdown":
+            print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Raised by *print* when stdout's reader (`| grep -q`, `| head`)
+        # closed early — not a server problem.  Without this clause the
+        # ConnectionError handler below would misreport it as the
+        # service being unreachable; let main()'s EPIPE guard handle it.
+        raise
+    except ConnectionError as exc:
+        print(
+            f"error: cannot reach repro serve at "
+            f"{args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+    return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "experiment":
-        return _command_experiment(args)
-    if args.command == "cache":
-        return _command_cache(args)
-    if args.command == "check":
-        return _command_check(args)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "experiment":
+            return _command_experiment(args)
+        if args.command == "cache":
+            return _command_cache(args)
+        if args.command == "check":
+            return _command_check(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "ctl":
+            return _command_ctl(args)
+    except BrokenPipeError:
+        # stdout's reader went away mid-write (`repro ctl status | head`);
+        # the Unix convention is a quiet exit, not a traceback.  Point
+        # stdout at devnull so the interpreter's final flush of the
+        # dangling buffer cannot re-raise on the way out.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        return 0
     return 2
 
 

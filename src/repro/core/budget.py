@@ -10,7 +10,7 @@ retries later.  Experiment E7 ablates the budget size.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -83,3 +83,25 @@ class InspectionBudget:
             self._queue.remove(victim_ip)
         except ValueError:
             pass
+
+    def retune(
+        self, max_concurrent: int | None = None, max_queue: int | None = None
+    ) -> "BudgetConfig":
+        """Validated runtime reconfiguration of the slot limits.
+
+        The new limits are validated as a whole (``BudgetConfig``'s own
+        invariants) before anything is applied.  Active inspections are
+        never interrupted: a lowered ``max_concurrent`` takes effect as
+        slots free up, and queued victims beyond a lowered ``max_queue``
+        stay queued (the bound applies to new requests).  Raised limits
+        promote queued victims only on the next release, keeping slot
+        grants attached to verdict events.  Returns the config in force.
+        """
+        updates: dict[str, int] = {}
+        if max_concurrent is not None:
+            updates["max_concurrent"] = int(max_concurrent)
+        if max_queue is not None:
+            updates["max_queue"] = int(max_queue)
+        if updates:
+            self.config = replace(self.config, **updates)
+        return self.config

@@ -18,8 +18,8 @@ removes the mirrors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
 
 from repro.controller.l2 import L2LearningSwitch
 from repro.core.budget import InspectionBudget
@@ -120,6 +120,55 @@ class SpiSystem:
         """Halt monitor windowing tasks (end of scenario)."""
         for monitor in self.monitors.values():
             monitor.stop()
+
+    # ---------------------------------------------------------- retuning
+
+    def retune(
+        self,
+        verification_window_s: float | None = None,
+        max_window_extensions: int | None = None,
+    ) -> SpiConfig:
+        """Validated runtime reconfiguration of the DPI verification knobs.
+
+        The replacement config revalidates through ``SpiConfig``'s own
+        invariants before anything is applied, then propagates to the
+        correlator (which reads the window length when it opens or
+        extends a case — in-flight cases keep the deadline they already
+        armed).  Returns the config in force.
+        """
+        updates: dict[str, Any] = {}
+        if verification_window_s is not None:
+            updates["verification_window_s"] = float(verification_window_s)
+        if max_window_extensions is not None:
+            updates["max_window_extensions"] = int(max_window_extensions)
+        if updates:
+            self.config = replace(self.config, **updates)
+            if self.correlator is not None:
+                self.correlator.config = self.config
+        return self.config
+
+    def retune_detectors(self, **params: float) -> dict[str, float]:
+        """Retune every deployed monitor's detector (validated, atomic).
+
+        Validation runs against each detector before any is mutated, so
+        an illegal value leaves the whole monitor tier untouched.
+        """
+        for monitor in self.monitors.values():
+            detector = monitor.detector
+            if not detector.TUNABLE:
+                # Composite members validate inside their own retune.
+                continue
+            unknown = sorted(set(params) - set(detector.TUNABLE))
+            if unknown:
+                raise ValueError(
+                    f"{monitor.name}: unknown tunable(s) {unknown}; "
+                    f"choose from {sorted(detector.TUNABLE)}"
+                )
+            for key, value in params.items():
+                detector.TUNABLE[key](value)
+        for monitor in self.monitors.values():
+            monitor.detector.retune(**params)
+        return dict(params)
 
     # ------------------------------------------------------------- pipeline
 

@@ -75,6 +75,7 @@ def _extract_detections(result: ScenarioResult) -> dict[str, Any]:
 
 def _extract_inspection_workload(result: ScenarioResult) -> dict[str, Any]:
     table_stats = result.flow_table_stats()
+    mitigation = result.mitigation_state()
     return {
         "inspected_fraction": result.inspected_fraction(),
         "mirror_cpu_share": result.switch_inspection_share(),
@@ -82,7 +83,26 @@ def _extract_inspection_workload(result: ScenarioResult) -> dict[str, Any]:
         "mf_hit_rate": table_stats.microflow_hit_rate,
         "buffer_evictions": result.buffer_evictions(),
         "detected": len(result.detection_times()) > 0,
+        "active_blocks": len(mitigation["active_blocks"]),
+        "block_expiries": _format_expiries(mitigation["active_blocks"]),
+        "whitelisted": len(mitigation["whitelist"]),
     }
+
+
+def _format_expiries(entries: Sequence[dict[str, Any]]) -> str:
+    """Compact ``expires_at`` listing for a report cell.
+
+    Each still-active block contributes its expiry timestamp (sim
+    seconds) or ``perm`` for a permanent one; ``-`` means no active
+    blocks at the end of the run.
+    """
+    if not entries:
+        return "-"
+    stamps = [
+        "perm" if e["expires_at"] is None else f"{e['expires_at']:g}"
+        for e in entries
+    ]
+    return ",".join(stamps)
 
 
 def _extract_service_phases(result: ScenarioResult) -> dict[str, Any]:
@@ -310,6 +330,9 @@ def run_e3_workload(
             "mf_hit_rate",
             "buffer_evictions",
             "detected",
+            "active_blocks",
+            "block_expiries",
+            "whitelisted",
         ],
     )
     defenses = ("spi", "always-on", "sampled")
@@ -339,6 +362,9 @@ def run_e3_workload(
                 row["mf_hit_rate"],
                 row["buffer_evictions"],
                 row["detected"],
+                row["active_blocks"],
+                row["block_expiries"],
+                row["whitelisted"],
             )
     return table
 

@@ -54,6 +54,7 @@ __all__ = [
     "fingerprint",
     "fingerprint_json",
     "run_differential",
+    "run_serve_differential",
     "run_fuzz_suite",
     "DifferentialOutcome",
     "FuzzSuiteReport",
@@ -232,12 +233,15 @@ class FuzzSuiteReport:
 
     outcomes: tuple[DifferentialOutcome, ...]
     parallel_matched: Optional[bool] = None
+    serve_matched: Optional[bool] = None
 
     @property
     def passed(self) -> bool:
         """True when every oracle agreed and no invariant fired."""
-        return all(o.matched for o in self.outcomes) and (
-            self.parallel_matched is not False
+        return (
+            all(o.matched for o in self.outcomes)
+            and self.parallel_matched is not False
+            and self.serve_matched is not False
         )
 
 
@@ -298,6 +302,48 @@ def run_differential(
     )
 
 
+def run_serve_differential(seed: int, optimized: str = "") -> DifferentialOutcome:
+    """One seed's batch-vs-served comparison (``--serve-oracle``).
+
+    The scenario is hosted in a control-plane :class:`Session` and
+    stepped in bounded slices — slice length and event budget drawn from
+    the seed, so different seeds exercise different slicings — and the
+    finished session's fingerprint must be byte-identical to the batch
+    ``run_scenario`` fingerprint.  Pass a precomputed batch fingerprint
+    via ``optimized`` to skip re-running the batch path.
+    """
+    from repro.service.session import Session
+
+    config = generate_scenario(seed)
+    slicing = random.Random(seed + _SEED_SALT * 7)
+    try:
+        if not optimized:
+            optimized = fingerprint_json(run_scenario(config))
+        session = Session(
+            f"serve-{seed}",
+            config,
+            slice_s=slicing.choice((0.1, 0.25, 0.5)),
+            slice_events=slicing.choice((500, 5_000, 50_000)),
+        )
+        session.run_to_completion()
+        served = session.fingerprint()
+    except InvariantViolation as violation:
+        return DifferentialOutcome(
+            seed=seed, config=config, matched=False,
+            detail=f"invariant violation: {violation}",
+        )
+    if served != optimized:
+        return DifferentialOutcome(
+            seed=seed, config=config, matched=False,
+            detail=f"served diverged: {_diff_summary(optimized, served)}",
+            optimized=optimized, reference=served,
+        )
+    return DifferentialOutcome(
+        seed=seed, config=config, matched=True,
+        optimized=optimized, reference=served,
+    )
+
+
 def run_fuzz_suite(
     n_seeds: int = 25,
     base_seed: int = 0,
@@ -305,6 +351,7 @@ def run_fuzz_suite(
     workers: int = 2,
     fastpath_oracle: bool = False,
     scheduler_oracle: bool = False,
+    serve_oracle: bool = False,
     progress: Optional[Callable[[DifferentialOutcome], None]] = None,
 ) -> FuzzSuiteReport:
     """The full differential sweep: ``n_seeds`` scenarios, two engines each.
@@ -316,6 +363,9 @@ def run_fuzz_suite(
     seed also runs with pooling + burst coalescing off on both engines
     (four runs per seed).  With ``scheduler_oracle`` each seed also runs
     on the calendar-queue engine (heap × calendar × reference identity).
+    With ``serve_oracle`` each seed is re-run hosted in a control-plane
+    session, stepped in seed-dependent bounded slices, and must
+    fingerprint byte-identically to the batch path.
     """
     seeds = range(base_seed, base_seed + n_seeds)
     outcomes: list[DifferentialOutcome] = []
@@ -341,8 +391,21 @@ def run_fuzz_suite(
             outcome.optimized == "" or outcome.optimized == fp
             for outcome, fp in zip(outcomes, pooled)
         )
+    serve_matched: Optional[bool] = None
+    if serve_oracle and outcomes:
+        serve_matched = True
+        for outcome in outcomes:
+            served = run_serve_differential(
+                outcome.seed, optimized=outcome.optimized
+            )
+            if not served.matched:
+                serve_matched = False
+                if progress is not None:
+                    progress(served)
     return FuzzSuiteReport(
-        outcomes=tuple(outcomes), parallel_matched=parallel_matched
+        outcomes=tuple(outcomes),
+        parallel_matched=parallel_matched,
+        serve_matched=serve_matched,
     )
 
 

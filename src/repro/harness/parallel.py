@@ -77,13 +77,33 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
     return _pool
 
 
-def shutdown_pool() -> None:
-    """Dispose of the cached worker pool (also runs at interpreter exit)."""
+def shutdown_pool(timeout_s: float = 5.0) -> None:
+    """Dispose of the cached worker pool (also runs at interpreter exit).
+
+    ``Executor.shutdown(wait=False, cancel_futures=True)`` only cancels
+    *queued* futures — a worker already simulating keeps going, and a
+    spawn worker abandoned at interpreter exit (Ctrl-C mid-sweep, an
+    atexit teardown) outlives its parent as an orphan burning a core.
+    So disposal also terminates every worker process still alive and
+    joins it (bounded by ``timeout_s``, escalating to ``kill``).
+    """
     global _pool, _pool_workers
-    if _pool is not None:
-        _pool.shutdown(wait=False, cancel_futures=True)
-        _pool = None
-        _pool_workers = 0
+    if _pool is None:
+        return
+    pool, _pool, _pool_workers = _pool, None, 0
+    # Private, but the only handle on the worker processes; taken before
+    # shutdown() because shutdown may clear it.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    deadline_each = max(0.1, timeout_s / max(1, len(processes)))
+    for process in processes:
+        process.join(timeout=deadline_each)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=deadline_each)
 
 
 atexit.register(shutdown_pool)

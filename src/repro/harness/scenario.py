@@ -1,11 +1,24 @@
 """Scenario configuration and the single-run experiment driver.
 
-``run_scenario`` assembles a topology, a workload (optionally with a
-flash crowd), one of the five defenses (``spi`` / ``monitor-only`` /
-``always-on`` / ``sampled`` / ``none``) and runs the simulation,
-returning a :class:`ScenarioResult` with uniform accessors for the
-quantities every experiment reports: detection times, benign service
-quality per phase, inspection workload.
+Scenario *construction* and *execution* are split so the control-plane
+service (:mod:`repro.service`) can host a built scenario and step it in
+bounded slices while the batch path stays a single call:
+
+* ``build_scenario`` assembles a topology, a workload (optionally with a
+  flash crowd) and one of the defenses (``spi`` / ``monitor-only`` /
+  ``always-on`` / ``sampled`` / ``flow-stats`` / ``none``), starts the
+  workload, and returns a live :class:`ScenarioResult` whose simulator
+  has not advanced yet;
+* ``finish_scenario`` stops every component and runs the final
+  invariant sweep once the clock has reached the configured duration;
+* ``run_scenario`` is build + one uninterrupted ``net.run`` + finish —
+  byte-identical to a served session that received no runtime
+  mutations (asserted by ``repro check --serve-oracle``).
+
+``ScenarioResult`` carries uniform accessors for the quantities every
+experiment reports: detection times, benign service quality per phase,
+inspection workload, and live mitigation state (active blocks and
+whitelist entries with expiry timestamps).
 """
 
 from __future__ import annotations
@@ -231,6 +244,32 @@ class ScenarioResult:
             sw.counters.buffer_evictions for sw in self.net.switches.values()
         )
 
+    # --------------------------------------------------------- mitigation
+
+    def mitigation_manager(self) -> Optional[MitigationManager]:
+        """The active defense's mitigation manager, if it has one."""
+        if self.spi is not None:
+            return self.spi.mitigation
+        for defense in (self.monitor_only, self.tap_dpi, self.flow_stats):
+            if defense is not None:
+                return defense.mitigation
+        return None
+
+    def mitigation_state(self) -> dict[str, Any]:
+        """Active blocks and whitelist entries with expiry timestamps.
+
+        Inspectable in batch runs (the E3 report) and served live over
+        the control-plane API; an empty state when the defense does not
+        mitigate.
+        """
+        manager = self.mitigation_manager()
+        if manager is None:
+            return {"active_blocks": [], "whitelist": []}
+        return {
+            "active_blocks": [b.describe() for b in manager.active_blocks()],
+            "whitelist": [w.describe() for w in manager.whitelist_entries()],
+        }
+
     def flow_table_stats(self) -> "TableStats":
         """Aggregate flow-table lookup/microflow counters across switches."""
         from repro.openflow.flowtable import TableStats
@@ -254,8 +293,16 @@ def _default_edge(net: Network, roles: Roles) -> str:
     return switch.name
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build, run and wrap one scenario."""
+def build_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Construct one scenario without advancing the simulator.
+
+    Everything ``run_scenario`` does up to (but excluding) the
+    ``net.run`` call: topology, workload, defense, probe and invariant
+    harness are assembled and the workload's start events are scheduled.
+    The returned result is *live*: step it with ``result.net.run(...)``
+    (or through a :class:`repro.service.session.Session`) and close it
+    with :func:`finish_scenario`.
+    """
     config = effective_config(config)
     build = TOPOLOGIES[config.topology]
     extra: dict[str, Any] = {}
@@ -384,8 +431,12 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         result.invariants.start()
 
     workload.start(with_attack=config.with_attack)
-    net.run(until=config.duration_s)
-    workload.stop()
+    return result
+
+
+def finish_scenario(result: ScenarioResult) -> ScenarioResult:
+    """Stop every component of a stepped scenario and run the final sweep."""
+    result.workload.stop()
     if result.probe is not None:
         result.probe.stop()
     if result.spi is not None:
@@ -396,7 +447,14 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         result.tap_dpi.stop()
     if result.flow_stats is not None:
         result.flow_stats.stop()
-    net.stop()
+    result.net.stop()
     if result.invariants is not None:
         result.invariants.final_check()
     return result
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, run and wrap one scenario (the batch path)."""
+    result = build_scenario(config)
+    result.net.run(until=result.config.duration_s)
+    return finish_scenario(result)

@@ -32,6 +32,10 @@ from repro.openflow.match import Match
 from repro.sim.trace import Tracer
 
 MITIGATION_COOKIE = 0xD05
+#: Operator-initiated blocks (the control-plane ``block`` API) carry
+#: their own cookie so they can be lifted without disturbing the rules a
+#: confirmed verdict installed.
+OPERATOR_COOKIE = 0xD06
 PRIORITY_WHITELIST = 320
 PRIORITY_MITIGATION = 300
 
@@ -66,6 +70,58 @@ class MitigationConfig:
             raise ValueError("prefix length must be in (0, 32]")
         if self.max_source_rules < 1:
             raise ValueError("need at least one source rule")
+
+
+@dataclass(frozen=True)
+class BlockEntry:
+    """One active block (source or prefix) with its expiry."""
+
+    ip: str
+    victim_ip: Optional[str]
+    installed_at: float
+    expires_at: Optional[float]  # None = permanent
+    origin: str  # "verdict" or "operator"
+
+    @property
+    def permanent(self) -> bool:
+        """True when the block never expires on its own."""
+        return self.expires_at is None
+
+    def describe(self) -> dict:
+        """Plain-data form (service API, E3 report)."""
+        return {
+            "ip": self.ip,
+            "victim_ip": self.victim_ip,
+            "installed_at": self.installed_at,
+            "expires_at": self.expires_at,
+            "permanent": self.permanent,
+            "origin": self.origin,
+        }
+
+
+@dataclass(frozen=True)
+class WhitelistEntry:
+    """One never-block whitelist member with its expiry."""
+
+    ip: str
+    added_at: float
+    expires_at: Optional[float]  # None = permanent
+    origin: str  # "verified-good" or "operator"
+
+    @property
+    def permanent(self) -> bool:
+        """True when the entry never expires on its own."""
+        return self.expires_at is None
+
+    def describe(self) -> dict:
+        """Plain-data form (service API, E3 report)."""
+        return {
+            "ip": self.ip,
+            "added_at": self.added_at,
+            "expires_at": self.expires_at,
+            "permanent": self.permanent,
+            "origin": self.origin,
+        }
 
 
 @dataclass
@@ -107,6 +163,10 @@ class MitigationManager:
         self.records: list[MitigationRecord] = []
         self.active: dict[str, MitigationRecord] = {}
         self.whitelist: set[str] = set()
+        # Expiry/origin metadata for whitelist members and operator
+        # blocks; inspection-only for verdict-driven entries.
+        self._whitelist_meta: dict[str, WhitelistEntry] = {}
+        self._operator_blocks: dict[tuple[str, Optional[str]], BlockEntry] = {}
         self._victim_macs: dict[str, str] = {}
         # Optional rule-placement scope: when set (e.g. to the discovery
         # app's edge datapaths), rules install only on these switches
@@ -132,8 +192,13 @@ class MitigationManager:
         """
         attackers = [ip for ip in attacker_sources if ip not in self.whitelist]
         suspects = [ip for ip in suspect_sources if ip not in self.whitelist]
-        self.whitelist.update(completed_sources)
         now = self.controller.sim.now
+        for ip in completed_sources:
+            if ip not in self.whitelist:
+                self.whitelist.add(ip)
+                self._whitelist_meta[ip] = WhitelistEntry(
+                    ip=ip, added_at=now, expires_at=None, origin="verified-good"
+                )
         record = MitigationRecord(
             victim_ip=victim_ip, installed_at=now, mode=self.config.mode
         )
@@ -181,6 +246,177 @@ class MitigationManager:
     def is_active(self, victim_ip: str) -> bool:
         """True while mitigation rules for this victim are installed."""
         return victim_ip in self.active
+
+    # ------------------------------------------------- operator block API
+
+    def block_source(
+        self,
+        src_ip: str,
+        victim_ip: Optional[str] = None,
+        duration_s: Optional[float] = None,
+    ) -> BlockEntry:
+        """Install an operator drop rule for ``src_ip``.
+
+        ``duration_s=None`` makes the block *permanent* (the flow rules
+        carry no hard timeout and the entry never expires); a positive
+        duration makes it *temporary* — both the rules and the manager's
+        view expire together.  With ``victim_ip`` the drop is scoped to
+        one destination, otherwise all traffic from the source drops.
+        """
+        if src_ip in self.whitelist:
+            raise ValueError(f"{src_ip!r} is whitelisted; remove it first")
+        if duration_s is not None and duration_s <= 0:
+            raise ValueError("block duration must be positive (or None)")
+        now = self.controller.sim.now
+        entry = BlockEntry(
+            ip=src_ip,
+            victim_ip=victim_ip,
+            installed_at=now,
+            expires_at=None if duration_s is None else now + duration_s,
+            origin="operator",
+        )
+        match = Match(eth_type=ETHERTYPE_IPV4, ip_src=src_ip, ip_dst=victim_ip)
+        for datapath_id in self._target_datapaths():
+            self.controller.add_flow(
+                datapath_id,
+                match=match,
+                actions=(Drop(),),
+                priority=PRIORITY_MITIGATION,
+                hard_timeout=0.0 if duration_s is None else duration_s,
+                cookie=OPERATOR_COOKIE,
+            )
+        key = (src_ip, victim_ip)
+        self._operator_blocks[key] = entry
+        if duration_s is not None:
+            self.controller.sim.schedule(
+                duration_s,
+                lambda: self._expire_operator_block(key, entry),
+                "mitigation.block_expiry",
+            )
+        self.tracer.emit(
+            "mitigation.blocked",
+            f"src={src_ip} victim={victim_ip or '*'} "
+            f"{'permanent' if entry.permanent else f'for {duration_s:g}s'}",
+            src=src_ip,
+            victim=victim_ip,
+            permanent=entry.permanent,
+        )
+        return entry
+
+    def unblock_source(self, src_ip: str, victim_ip: Optional[str] = None) -> bool:
+        """Lift an operator block; returns False when none was active."""
+        entry = self._operator_blocks.pop((src_ip, victim_ip), None)
+        if entry is None:
+            return False
+        for datapath_id in self.controller.datapaths:
+            self.controller.delete_flows(
+                datapath_id,
+                Match(eth_type=ETHERTYPE_IPV4, ip_src=src_ip, ip_dst=victim_ip),
+                cookie=OPERATOR_COOKIE,
+            )
+        self.tracer.emit(
+            "mitigation.unblocked",
+            f"src={src_ip} victim={victim_ip or '*'}",
+            src=src_ip,
+            victim=victim_ip,
+        )
+        return True
+
+    def _expire_operator_block(
+        self, key: tuple[str, Optional[str]], entry: BlockEntry
+    ) -> None:
+        # The flow rules expire on the datapath via their hard timeout;
+        # only the manager's view needs retiring (and only if the entry
+        # was not replaced or lifted in the meantime).
+        if self._operator_blocks.get(key) is entry:
+            del self._operator_blocks[key]
+
+    def add_whitelist(
+        self, src_ip: str, duration_s: Optional[float] = None
+    ) -> WhitelistEntry:
+        """Add ``src_ip`` to the never-block whitelist.
+
+        ``duration_s=None`` is permanent; a positive duration expires the
+        entry.  An active operator block for the source is lifted.
+        """
+        if duration_s is not None and duration_s <= 0:
+            raise ValueError("whitelist duration must be positive (or None)")
+        now = self.controller.sim.now
+        entry = WhitelistEntry(
+            ip=src_ip,
+            added_at=now,
+            expires_at=None if duration_s is None else now + duration_s,
+            origin="operator",
+        )
+        for key in [k for k in self._operator_blocks if k[0] == src_ip]:
+            self.unblock_source(*key)
+        self.whitelist.add(src_ip)
+        self._whitelist_meta[src_ip] = entry
+        if duration_s is not None:
+            self.controller.sim.schedule(
+                duration_s,
+                lambda: self._expire_whitelist(src_ip, entry),
+                "mitigation.whitelist_expiry",
+            )
+        self.tracer.emit(
+            "mitigation.whitelisted",
+            f"src={src_ip} "
+            f"{'permanent' if entry.permanent else f'for {duration_s:g}s'}",
+            src=src_ip,
+            permanent=entry.permanent,
+        )
+        return entry
+
+    def remove_whitelist(self, src_ip: str) -> bool:
+        """Drop a whitelist member; returns False when absent."""
+        if src_ip not in self.whitelist:
+            return False
+        self.whitelist.discard(src_ip)
+        self._whitelist_meta.pop(src_ip, None)
+        return True
+
+    def _expire_whitelist(self, src_ip: str, entry: WhitelistEntry) -> None:
+        if self._whitelist_meta.get(src_ip) is entry:
+            self.whitelist.discard(src_ip)
+            del self._whitelist_meta[src_ip]
+
+    # ------------------------------------------------------- introspection
+
+    def active_blocks(self) -> list[BlockEntry]:
+        """Every block currently installed, verdict- and operator-driven.
+
+        Verdict blocks expire with their record (the flow rules' hard
+        timeout); operator blocks carry their own expiry.  Sorted for a
+        stable listing.
+        """
+        entries: list[BlockEntry] = list(self._operator_blocks.values())
+        timeout = self.config.rule_hard_timeout_s
+        for victim_ip, record in self.active.items():
+            for ip in record.blocked_sources + record.blocked_prefixes:
+                entries.append(
+                    BlockEntry(
+                        ip=ip,
+                        victim_ip=victim_ip,
+                        installed_at=record.installed_at,
+                        expires_at=record.installed_at + timeout,
+                        origin="verdict",
+                    )
+                )
+        return sorted(entries, key=lambda e: (e.ip, e.victim_ip or ""))
+
+    def whitelist_entries(self) -> list[WhitelistEntry]:
+        """Every whitelist member with its expiry, sorted by address."""
+        now = self.controller.sim.now
+        entries = []
+        for ip in sorted(self.whitelist):
+            meta = self._whitelist_meta.get(ip)
+            if meta is None:
+                # Pre-API member (e.g. seeded directly on the set).
+                meta = WhitelistEntry(
+                    ip=ip, added_at=now, expires_at=None, origin="verified-good"
+                )
+            entries.append(meta)
+        return entries
 
     def _expire_record(self, victim_ip: str, record: MitigationRecord) -> None:
         if self.active.get(victim_ip) is record:

@@ -19,9 +19,30 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.monitor.features import WindowFeatures
+
+
+def _positive(name: str) -> Callable[[float], None]:
+    def check(value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"{name} must be positive")
+    return check
+
+
+def _non_negative(name: str) -> Callable[[float], None]:
+    def check(value: float) -> None:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0")
+    return check
+
+
+def _unit_interval(name: str) -> Callable[[float], None]:
+    def check(value: float) -> None:
+        if not 0 < value <= 1:
+            raise ValueError(f"{name} must be in (0, 1]")
+    return check
 
 
 @dataclass(frozen=True)
@@ -46,6 +67,11 @@ class AnomalyDetector:
 
     name = "base"
 
+    #: Parameters the control plane may retune at runtime, each mapped to
+    #: a validator that raises ``ValueError`` on an illegal value.
+    #: Subclasses extend this; :meth:`retune` consults it.
+    TUNABLE: dict[str, Callable[[float], None]] = {}
+
     def update(self, features: WindowFeatures) -> Optional[Detection]:
         """Process one window summary."""
         raise NotImplementedError
@@ -53,11 +79,32 @@ class AnomalyDetector:
     def reset(self) -> None:
         """Clear learned state (between scenario phases)."""
 
+    def retune(self, **params: float) -> dict[str, float]:
+        """Validated runtime reconfiguration.
+
+        Every key must name a :attr:`TUNABLE` parameter and pass its
+        validator, or the whole call is rejected (no partial retunes).
+        Learned state (baselines, CUSUM sums) survives — only the knobs
+        move.  Returns the parameters as applied.
+        """
+        unknown = sorted(set(params) - set(self.TUNABLE))
+        if unknown:
+            raise ValueError(
+                f"{self.name}: unknown tunable(s) {unknown}; "
+                f"choose from {sorted(self.TUNABLE)}"
+            )
+        for key, value in params.items():
+            self.TUNABLE[key](value)
+        for key, value in params.items():
+            setattr(self, key, value)
+        return dict(params)
+
 
 class StaticThresholdDetector(AnomalyDetector):
     """Fire when the window SYN rate exceeds a fixed threshold."""
 
     name = "static-threshold"
+    TUNABLE = {"syn_rate_threshold": _positive("threshold")}
 
     def __init__(self, syn_rate_threshold: float = 100.0) -> None:
         if syn_rate_threshold <= 0:
@@ -84,6 +131,7 @@ class AdaptiveThresholdDetector(AnomalyDetector):
     """
 
     name = "adaptive-threshold"
+    TUNABLE = {"k": _positive("k"), "floor": _non_negative("floor")}
 
     def __init__(self, k: float = 3.0, min_windows: int = 5, floor: float = 20.0) -> None:
         if k <= 0:
@@ -119,6 +167,11 @@ class EwmaDetector(AnomalyDetector):
     """EWMA baseline with EWM variance; fires on k-sigma excursions."""
 
     name = "ewma"
+    TUNABLE = {
+        "alpha": _unit_interval("alpha"),
+        "k": _positive("k"),
+        "floor": _non_negative("floor"),
+    }
 
     def __init__(self, alpha: float = 0.2, k: float = 3.0, floor: float = 20.0,
                  warmup_windows: int = 3) -> None:
@@ -166,6 +219,11 @@ class CusumDetector(AnomalyDetector):
     """
 
     name = "cusum"
+    TUNABLE = {
+        "drift": _non_negative("drift"),
+        "h": _positive("h"),
+        "alpha": _unit_interval("alpha"),
+    }
 
     def __init__(self, drift: float = 10.0, h: float = 50.0, alpha: float = 0.1,
                  warmup_windows: int = 3) -> None:
@@ -214,6 +272,12 @@ class EntropyDetector(AnomalyDetector):
 
     name = "entropy"
 
+    TUNABLE = {
+        "entropy_threshold": _unit_interval("entropy threshold"),
+        "min_syn_rate": _non_negative("min SYN rate"),
+        "min_sources": _positive("min sources"),
+    }
+
     def __init__(self, entropy_threshold: float = 0.9, min_syn_rate: float = 20.0,
                  min_sources: int = 8) -> None:
         if not 0 < entropy_threshold <= 1:
@@ -245,6 +309,7 @@ class UdpRateDetector(AnomalyDetector):
     """
 
     name = "udp-rate"
+    TUNABLE = {"udp_rate_threshold": _positive("threshold")}
 
     def __init__(self, udp_rate_threshold: float = 200.0) -> None:
         if udp_rate_threshold <= 0:
@@ -283,6 +348,20 @@ class CompositeDetector(AnomalyDetector):
     def reset(self) -> None:
         for member in self.members:
             member.reset()
+
+    def retune(self, **params: float) -> dict[str, float]:
+        """Fan a retune out to every member that owns the parameter."""
+        owners: dict[str, list[AnomalyDetector]] = {}
+        for key in params:
+            owners[key] = [m for m in self.members if key in m.TUNABLE]
+            if not owners[key]:
+                raise ValueError(
+                    f"{self.name}: no member detector tunes {key!r}"
+                )
+        for key, value in params.items():
+            for member in owners[key]:
+                member.retune(**{key: value})
+        return dict(params)
 
 
 def make_detector(kind: str, **kwargs) -> AnomalyDetector:

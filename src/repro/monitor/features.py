@@ -95,6 +95,18 @@ class FeatureExtractor:
         self._dst_udp: dict[str, int] = {}
         self._window_start = 0.0
 
+    def set_sampling_probability(self, sampling_probability: float) -> None:
+        """Runtime retune of the sampling rate (validated).
+
+        Takes effect immediately: packets already accumulated in the
+        open window scale with the *new* probability when it closes —
+        the window summary is an estimate either way.
+        """
+        if not 0 < sampling_probability <= 1:
+            raise ValueError("sampling probability must be in (0, 1]")
+        self.sampling_probability = sampling_probability
+        self._scale = 1.0 / sampling_probability
+
     def observe(self, packet: Packet, key: FlowKey | None = None) -> None:
         """Feed one sampled packet (header inspection only).
 

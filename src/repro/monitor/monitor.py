@@ -9,7 +9,7 @@ SYN-targeted destination as the suspected victim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.monitor.alerts import Alert, AlertBus
 from repro.monitor.detectors import AnomalyDetector
@@ -110,6 +110,33 @@ class TrafficMonitor:
                 victim_ip=victim,
             )
         )
+
+    def retune(
+        self,
+        sampling_probability: float | None = None,
+        holddown_s: float | None = None,
+    ) -> MonitorConfig:
+        """Validated runtime reconfiguration of the sampling tier.
+
+        The replacement config revalidates through ``MonitorConfig``'s
+        invariants before anything is applied; the feature extractor's
+        scale follows the new sampling probability immediately.  The
+        window length is deliberately *not* tunable — every detector's
+        learned baseline is calibrated per-window.  Returns the config
+        in force.
+        """
+        updates: dict[str, float] = {}
+        if sampling_probability is not None:
+            updates["sampling_probability"] = float(sampling_probability)
+        if holddown_s is not None:
+            updates["holddown_s"] = float(holddown_s)
+        if updates:
+            self.config = replace(self.config, **updates)
+            if "sampling_probability" in updates:
+                self.extractor.set_sampling_probability(
+                    updates["sampling_probability"]
+                )
+        return self.config
 
     def stop(self) -> None:
         """Halt the windowing task (end of scenario)."""

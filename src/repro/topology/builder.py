@@ -236,11 +236,17 @@ class Network:
             self.controller.register_app(self.discovery)
         return self.discovery
 
-    def run(self, until: float) -> float:
-        """Advance the shared simulator clock."""
+    def run(self, until: float, max_events: int | None = None) -> float:
+        """Advance the shared simulator clock.
+
+        ``max_events`` bounds one call (the control-plane service steps
+        scenarios in bounded event slices so API requests interleave
+        with simulation); event order — and therefore every result — is
+        identical however the run is sliced.
+        """
         if not self._finalized:
             self.finalize()
-        return self.sim.run(until=until)
+        return self.sim.run(until=until, max_events=max_events)
 
     # ------------------------------------------------------------ queries
 

@@ -138,3 +138,37 @@ class TestGoldenDeterminism:
         parallel = run_e1_response_time(workers=4, **kwargs)
         assert serial.to_csv() == parallel.to_csv()
         assert serial.to_text() == parallel.to_text()
+
+
+class TestShutdownPool:
+    def test_busy_spawn_workers_are_terminated(self):
+        """Regression: shutdown must kill workers mid-task, not orphan them.
+
+        ``Executor.shutdown(wait=False, cancel_futures=True)`` only
+        cancels queued futures — a worker already executing keeps
+        running, and at interpreter exit (Ctrl-C mid-sweep) it used to
+        survive its parent as an orphan.  ``shutdown_pool`` now
+        terminates and joins every live worker process.
+        """
+        import time as _time
+
+        from repro.harness import parallel as parallel_module
+
+        pool = parallel_module._get_pool(2)
+        # Occupy both workers with a task far longer than the test.
+        for _ in range(2):
+            pool.submit(_time.sleep, 120)
+        deadline = _time.monotonic() + 30
+        while _time.monotonic() < deadline:
+            processes = list(pool._processes.values())
+            if len(processes) >= 2 and all(p.is_alive() for p in processes):
+                break
+            _time.sleep(0.05)
+        else:
+            pytest.fail("spawn workers never came up")
+
+        shutdown_pool()
+
+        for process in processes:
+            process.join(timeout=10)
+            assert not process.is_alive(), f"worker {process.pid} orphaned"
