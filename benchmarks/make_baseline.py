@@ -3,7 +3,8 @@
 Usage::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_substrate.py \
-        benchmarks/bench_scenario_throughput.py --benchmark-json=/tmp/m1.json
+        benchmarks/bench_scenario_throughput.py \
+        benchmarks/bench_monitor_plane.py --benchmark-json=/tmp/m1.json
     python benchmarks/make_baseline.py /tmp/m1.json \
         benchmarks/results/m1_baseline.json
 
@@ -35,6 +36,10 @@ BASELINE_CASES = (
     "test_small_scenario_end_to_end",
     "test_scenario_throughput_synflood",
     "test_scenario_throughput_udpflood",
+    "test_monitor_plane_exact",
+    "test_monitor_plane_sketch",
+    "test_monitor_plane_sketch_small",
+    "test_monitor_plane_sketch_deep",
 )
 STATS_KEYS = (
     "min", "max", "mean", "stddev", "median", "iqr", "ops", "rounds", "iterations"

@@ -73,6 +73,8 @@ QUICK_ARGS: dict[str, dict] = {
     "e10": {"seeds": (1,)},
     "e11": {"rates": (400.0, 8000.0)},
     "e12": {"rates": (1000.0,), "seeds": (1,)},
+    "e13a": {"seeds": (1,), "widths": (1024,)},
+    "e13b": {"source_counts": (1_000, 10_000)},
 }
 
 
@@ -110,6 +112,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-burst-coalescing", action="store_true",
                      help="schedule every generated packet as its own event "
                           "instead of coalesced bursts (results identical)")
+    run.add_argument("--monitor-backend", default="exact",
+                     choices=("exact", "sketch"),
+                     help="monitor feature backend: exact per-address dicts "
+                          "or bounded-memory count-min/HyperLogLog sketches")
     run.add_argument("--json", action="store_true", help="machine-readable output")
     run.add_argument("--save", metavar="PATH",
                      help="write the assembled scenario config as JSON and exit")
@@ -250,6 +256,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="additionally host every seed in a control-plane "
                             "session stepped in bounded slices and require a "
                             "fingerprint byte-identical to the batch path")
+    check.add_argument("--sketch-oracle", action="store_true",
+                       help="additionally shadow every seed's monitors with "
+                            "the sketch feature backend, assert estimator "
+                            "error bounds per window, and re-run the scenario "
+                            "in sketch mode under invariant sweeps")
     check.add_argument("--json", action="store_true",
                        help="machine-readable per-seed report")
     return parser
@@ -286,6 +297,13 @@ def _command_run(args: argparse.Namespace) -> int:
                 attack_rate_pps=args.rate, attack_start_s=args.attack_start
             ),
         )
+        if args.monitor_backend != "exact":
+            from dataclasses import replace
+
+            config = replace(config, spi=replace(
+                config.spi,
+                monitor=replace(config.spi.monitor, backend=args.monitor_backend),
+            ))
     if args.save:
         from repro.harness.serialize import save_config
 
@@ -391,6 +409,7 @@ def _command_check(args: argparse.Namespace) -> int:
         fastpath_oracle=args.fastpath_oracle,
         scheduler_oracle=args.scheduler_oracle,
         serve_oracle=args.serve_oracle,
+        sketch_oracle=args.sketch_oracle,
         progress=None if args.json else lambda o: print(describe_outcome(o)),
     )
     failed = [o for o in report.outcomes if not o.matched]
@@ -403,6 +422,7 @@ def _command_check(args: argparse.Namespace) -> int:
             ],
             "parallel_oracle": report.parallel_matched,
             "serve_oracle": report.serve_matched,
+            "sketch_oracle": report.sketch_matched,
             "passed": report.passed,
         }, indent=2))
     else:
@@ -414,6 +434,11 @@ def _command_check(args: argparse.Namespace) -> int:
         if report.serve_matched is not None:
             oracle += (
                 f", serve oracle {'ok' if report.serve_matched else 'MISMATCH'}"
+            )
+        if report.sketch_matched is not None:
+            oracle += (
+                f", sketch oracle "
+                f"{'ok' if report.sketch_matched else 'OUT OF BOUNDS'}"
             )
         print(
             f"{verdict}: {len(report.outcomes) - len(failed)}/"

@@ -1089,6 +1089,187 @@ def run_e12_udp_flood(
     return table
 
 
+def _extract_e13_accuracy(result: ScenarioResult) -> dict[str, Any]:
+    timeline = result.timeline()
+    monitors = []
+    if result.spi is not None:
+        monitors.extend(result.spi.monitors.values())
+    if result.monitor_only is not None:
+        monitors.extend(result.monitor_only.monitors.values())
+    return {
+        "detected": bool(result.detection_times()),
+        "alert": timeline.time_to_alert,
+        "mitigation": timeline.time_to_mitigation,
+        "peak_bytes": max(
+            (m.extractor.peak_state_bytes for m in monitors), default=0
+        ),
+    }
+
+
+#: The standard scenarios E13 compares across feature backends: the
+#: paper's spoofed SYN flood, the E12-style UDP volumetric flood, and a
+#: no-attack flash crowd (detection verdicts must agree on all three).
+_E13_CASES: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("syn-flood", {
+        "workload.attack_rate_pps": 400.0,
+    }),
+    ("udp-flood", {
+        "detector": "udp-rate",
+        "detector_params": {"udp_rate_threshold": 150.0},
+        "workload.attack_kind": "udp",
+        "workload.attack_rate_pps": 1000.0,
+        "workload.udp_payload_bytes": 512,
+    }),
+    ("flash-crowd", {
+        "with_attack": False,
+        "flash_crowd": FlashCrowdSpec(
+            start_s=5.0, duration_s=10.0, connections_per_second=80.0
+        ),
+    }),
+)
+
+
+def run_e13_sketch_monitor(
+    seeds: Sequence[int] = (1, 2),
+    widths: Sequence[int] = (512, 2048),
+    workers: Optional[int] = 1,
+) -> Table:
+    """E13a (extension): sketch monitor plane vs exact, accuracy side.
+
+    Every standard scenario (SYN flood, UDP flood, flash crowd) runs
+    once per feature backend — exact dicts and count-min/HyperLogLog
+    sketches across widths (depth 4) — and the table reports detection
+    verdicts, time-to-alert/mitigate, and the peak per-monitor feature
+    state.  The detectors are identical in every run; only the feature
+    backend changes, so verdict differences would mean estimator error
+    crossed a detector threshold.
+    """
+    table = Table(
+        "E13a: feature backend accuracy (exact vs sketch)",
+        ["case", "backend", "detected_runs", "t_alert_s", "t_mitigate_s",
+         "peak_monitor_kib"],
+    )
+    backends: list[tuple[str, dict[str, Any]]] = [("exact", {})]
+    for width in widths:
+        backends.append((
+            f"sketch-w{width}",
+            {
+                "spi.monitor.backend": "sketch",
+                "spi.monitor.sketch_width": int(width),
+            },
+        ))
+    points = [
+        {
+            **case_overrides,
+            **backend_overrides,
+            "spi.monitor.track_state_bytes": True,
+            "seed": seed,
+        }
+        for _case, case_overrides in _E13_CASES
+        for _backend, backend_overrides in backends
+        for seed in seeds
+    ]
+    extracts = iter(
+        run_scenarios(BASE, points, extract=_extract_e13_accuracy, workers=workers)
+    )
+    for case, _overrides in _E13_CASES:
+        for backend, _knobs in backends:
+            detected = 0
+            alerts: list[float] = []
+            mitigations: list[float] = []
+            peak = 0
+            for _seed in seeds:
+                row = next(extracts)
+                if row["detected"]:
+                    detected += 1
+                if row["alert"] is not None:
+                    alerts.append(row["alert"])
+                if row["mitigation"] is not None:
+                    mitigations.append(row["mitigation"])
+                peak = max(peak, row["peak_bytes"])
+            table.add_row(
+                case,
+                backend,
+                f"{detected}/{len(seeds)}",
+                summarize(alerts).mean if alerts else None,
+                summarize(mitigations).mean if mitigations else None,
+                round(peak / 1024, 1),
+            )
+    return table
+
+
+def _e13_scale_task(n_sources: int, backend: str) -> dict[str, Any]:
+    """Feed one window of ``n_sources`` distinct spoofed SYNs directly
+    into a feature extractor (no simulator) and measure per-monitor
+    feature-state bytes and observe+close throughput."""
+    import time
+
+    from repro.monitor.features import FeatureExtractor
+    from repro.net.headers import TCP_SYN, TcpHeader
+    from repro.net.packet import Packet
+
+    mac = "00:00:00:00:00:01"
+    packets = [
+        Packet.tcp_packet(
+            mac, mac,
+            f"198.{(i >> 16) & 255}.{(i >> 8) & 255}.{i & 255}",
+            "10.0.0.2",
+            TcpHeader(1024 + (i & 4095), 80, flags=TCP_SYN),
+        )
+        for i in range(n_sources)
+    ]
+    extractor = FeatureExtractor(backend=backend, track_state_bytes=True)
+    observe = extractor.observe
+    start = time.perf_counter()
+    for packet in packets:
+        observe(packet)
+    features = extractor.close_window(1.0)
+    elapsed = time.perf_counter() - start
+    return {
+        "state_bytes": extractor.peak_state_bytes,
+        "kpps": n_sources / elapsed / 1000,
+        "distinct": features.distinct_sources,
+    }
+
+
+def run_e13_monitor_scale(
+    source_counts: Sequence[int] = (1_000, 10_000, 100_000, 1_000_000),
+    workers: Optional[int] = 1,
+) -> Table:
+    """E13b (extension): monitor feature-state bytes vs distinct sources.
+
+    One window of N distinct spoofed sources per point, fed straight
+    into the extractor: the exact backend's per-address state grows
+    linearly with N while the sketch backend (1024x4 count-min sketches,
+    2^12 HyperLogLog registers) stays flat — the bounded-memory claim
+    at the ROADMAP's million-source scale.  Throughput is the wall-clock
+    observe+close rate on this machine; distinct is the (estimated)
+    distinct-source feature, showing HyperLogLog error in context.
+    """
+    table = Table(
+        "E13b: feature state vs distinct sources",
+        ["distinct_sources", "backend", "state_kib", "observe_kpps",
+         "distinct_estimate"],
+    )
+    tasks = [
+        {"n_sources": int(n), "backend": backend}
+        for n in source_counts
+        for backend in ("exact", "sketch")
+    ]
+    rows = iter(run_tasks(_e13_scale_task, tasks, workers=workers))
+    for n in source_counts:
+        for backend in ("exact", "sketch"):
+            row = next(rows)
+            table.add_row(
+                int(n),
+                backend,
+                round(row["state_bytes"] / 1024, 1),
+                round(row["kpps"], 1),
+                row["distinct"],
+            )
+    return table
+
+
 ALL_EXPERIMENTS = {
     "e1": run_e1_response_time,
     "e2": run_e2_accuracy,
@@ -1105,4 +1286,6 @@ ALL_EXPERIMENTS = {
     "e10": run_e10_monitor_placement,
     "e11": run_e11_host_vs_network_defense,
     "e12": run_e12_udp_flood,
+    "e13a": run_e13_sketch_monitor,
+    "e13b": run_e13_monitor_scale,
 }

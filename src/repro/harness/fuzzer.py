@@ -32,6 +32,7 @@ encoding, not of the simulated traffic).
 from __future__ import annotations
 
 import json
+import math
 import random
 from collections import Counter
 from dataclasses import dataclass, replace
@@ -41,6 +42,8 @@ from repro.harness.scenario import (
     FlashCrowdSpec,
     ScenarioConfig,
     ScenarioResult,
+    build_scenario,
+    finish_scenario,
     run_scenario,
 )
 from repro.sim.invariants import InvariantViolation
@@ -55,6 +58,7 @@ __all__ = [
     "fingerprint_json",
     "run_differential",
     "run_serve_differential",
+    "run_sketch_differential",
     "run_fuzz_suite",
     "DifferentialOutcome",
     "FuzzSuiteReport",
@@ -234,6 +238,7 @@ class FuzzSuiteReport:
     outcomes: tuple[DifferentialOutcome, ...]
     parallel_matched: Optional[bool] = None
     serve_matched: Optional[bool] = None
+    sketch_matched: Optional[bool] = None
 
     @property
     def passed(self) -> bool:
@@ -242,6 +247,7 @@ class FuzzSuiteReport:
             all(o.matched for o in self.outcomes)
             and self.parallel_matched is not False
             and self.serve_matched is not False
+            and self.sketch_matched is not False
         )
 
 
@@ -344,6 +350,206 @@ def run_serve_differential(seed: int, optimized: str = "") -> DifferentialOutcom
     )
 
 
+#: Absolute tolerance for the sketch oracle's entropy comparison.  The
+#: heavy-hitter + uniform-tail estimator tracks the exact normalized
+#: entropy well inside this on every fuzz stream; see EXPERIMENTS M6 for
+#: measured errors.
+_SKETCH_ENTROPY_TOL = 0.15
+#: Safety factor on the HyperLogLog one-sigma relative error (1.04/sqrt(m)).
+_SKETCH_HLL_SIGMAS = 6.0
+
+
+class _ShadowPairExtractor:
+    """Feeds one monitor's observe stream to exact and sketch extractors.
+
+    The exact extractor's features drive the run (so the scenario is
+    byte-identical to a plain exact run — the sketch shadow consumes no
+    randomness and emits nothing); each window close records the
+    (exact, sketch) feature pair plus the window's raw SYN/UDP counts
+    for ε-bound scaling.
+    """
+
+    def __init__(self, exact, sketch) -> None:
+        self.exact = exact
+        self.sketch = sketch
+        self.windows: list[tuple[Any, Any, int, int]] = []
+
+    def observe(self, packet, key=None) -> None:
+        self.exact.observe(packet, key)
+        self.sketch.observe(packet, key)
+
+    def close_window(self, now):
+        syn_before = self.exact.folded_syn_total
+        udp_before = self.exact.folded_udp_total
+        exact_features = self.exact.close_window(now)
+        sketch_features = self.sketch.close_window(now)
+        self.windows.append((
+            exact_features,
+            sketch_features,
+            self.exact.folded_syn_total - syn_before,
+            self.exact.folded_udp_total - udp_before,
+        ))
+        return exact_features
+
+    def set_sampling_probability(self, sampling_probability: float) -> None:
+        self.exact.set_sampling_probability(sampling_probability)
+        self.sketch.set_sampling_probability(sampling_probability)
+
+    def accounting(self):
+        return self.exact.accounting()
+
+    @property
+    def packets_observed(self) -> int:
+        return self.exact.packets_observed
+
+    @property
+    def sampling_probability(self) -> float:
+        return self.exact.sampling_probability
+
+    @property
+    def backend(self):
+        return self.exact.backend
+
+
+_SCALAR_FIELDS = (
+    "window_start", "window_end", "total_packets", "tcp_packets",
+    "syn_count", "synack_count", "ack_count", "rst_count", "fin_count",
+    "udp_packets",
+)
+
+
+def _check_window_pair(
+    exact, sketch, raw_syn: int, raw_udp: int,
+    width: int, hll_m: int,
+) -> str | None:
+    """One window's estimator-error check; returns a complaint or None."""
+    eps = 1e-9
+    for name in _SCALAR_FIELDS:
+        a, b = getattr(exact, name), getattr(sketch, name)
+        if a != b:
+            return f"scalar {name} diverged: exact {a!r} != sketch {b!r}"
+    scale = exact.syn_count / raw_syn if raw_syn else 1.0
+    cms_bound = math.e * raw_syn / width * scale + eps
+    for ip, est in sketch.per_destination_syns.items():
+        true = exact.per_destination_syns.get(ip)
+        if true is None:
+            return f"sketch reported SYN destination {ip} never seen exactly"
+        if est < true - eps:
+            return f"sketch undercounted SYNs to {ip}: {est} < {true}"
+        if est - true > cms_bound:
+            return (
+                f"sketch overcounted SYNs to {ip}: {est} vs {true} "
+                f"(bound {cms_bound:.3f})"
+            )
+    if sketch.per_destination_syns and exact.per_destination_syns:
+        if sketch.top_destination_syns < exact.top_destination_syns - eps:
+            return (
+                "sketch top-destination SYN estimate "
+                f"{sketch.top_destination_syns} below exact "
+                f"{exact.top_destination_syns}"
+            )
+    true_distinct = exact.distinct_sources
+    hll_tol = _SKETCH_HLL_SIGMAS * 1.04 / math.sqrt(hll_m) * true_distinct + 3
+    if abs(sketch.distinct_sources - true_distinct) > hll_tol:
+        return (
+            f"distinct-source estimate {sketch.distinct_sources} vs exact "
+            f"{true_distinct} (tolerance {hll_tol:.1f})"
+        )
+    if abs(sketch.source_entropy - exact.source_entropy) > _SKETCH_ENTROPY_TOL:
+        return (
+            f"entropy estimate {sketch.source_entropy:.4f} vs exact "
+            f"{exact.source_entropy:.4f} (tolerance {_SKETCH_ENTROPY_TOL})"
+        )
+    return None
+
+
+def run_sketch_differential(seed: int) -> DifferentialOutcome:
+    """One seed's exact-vs-sketch estimator comparison (``--sketch-oracle``).
+
+    The generated scenario runs once with every monitor's extractor
+    shadow-paired: the exact backend drives detection (so the run is the
+    plain exact run) while a sketch extractor — geometry drawn from the
+    seed — consumes the identical observe stream.  Every closed window
+    must satisfy the estimators' error bounds: count-min estimates never
+    undercount and overcount by at most ``e/width`` of the window's adds,
+    HyperLogLog distinct counts stay within ``6 * 1.04/sqrt(m)``, and the
+    entropy estimate stays within ``0.15`` absolute.  The same scenario
+    then re-runs end-to-end in sketch mode with invariant sweeps on,
+    covering sketch accounting inside the live monitor.
+    """
+    from repro.monitor.features import FeatureExtractor
+
+    config = generate_scenario(seed)
+    geometry = random.Random(seed + _SEED_SALT * 11)
+    width = geometry.choice((512, 1024, 2048))
+    depth = geometry.choice((3, 4, 5))
+    precision = geometry.choice((10, 12))
+    topk = geometry.choice((4, 8))
+    sketch_knobs = {
+        "sketch_width": width,
+        "sketch_depth": depth,
+        "sketch_topk": topk,
+        "hll_precision": precision,
+        "sketch_seed": seed + 0xFEED,
+    }
+    try:
+        built = build_scenario(config)
+        pairs: list[_ShadowPairExtractor] = []
+        monitors = []
+        if built.spi is not None:
+            monitors.extend(built.spi.monitors.values())
+        if built.monitor_only is not None:
+            monitors.extend(built.monitor_only.monitors.values())
+        for monitor in monitors:
+            shadow = FeatureExtractor(
+                monitor.config.sampling_probability,
+                backend="sketch",
+                **sketch_knobs,
+            )
+            pair = _ShadowPairExtractor(monitor.extractor, shadow)
+            monitor.extractor = pair
+            pairs.append(pair)
+        built.net.run(until=config.duration_s)
+        finish_scenario(built)
+    except InvariantViolation as violation:
+        return DifferentialOutcome(
+            seed=seed, config=config, matched=False,
+            detail=f"invariant violation: {violation}",
+        )
+    checked = 0
+    for pair in pairs:
+        for exact, sketch, raw_syn, raw_udp in pair.windows:
+            complaint = _check_window_pair(
+                exact, sketch, raw_syn, raw_udp, width, 1 << precision
+            )
+            checked += 1
+            if complaint is not None:
+                return DifferentialOutcome(
+                    seed=seed, config=config, matched=False,
+                    detail=(
+                        f"width={width} depth={depth} p={precision}: {complaint}"
+                    ),
+                )
+    sketch_config = replace(
+        config,
+        spi=replace(
+            config.spi,
+            monitor=replace(config.spi.monitor, backend="sketch", **sketch_knobs),
+        ),
+    )
+    try:
+        run_scenario(sketch_config)
+    except InvariantViolation as violation:
+        return DifferentialOutcome(
+            seed=seed, config=config, matched=False,
+            detail=f"sketch-mode invariant violation: {violation}",
+        )
+    return DifferentialOutcome(
+        seed=seed, config=config, matched=True,
+        detail=f"{checked} windows within bounds",
+    )
+
+
 def run_fuzz_suite(
     n_seeds: int = 25,
     base_seed: int = 0,
@@ -352,6 +558,7 @@ def run_fuzz_suite(
     fastpath_oracle: bool = False,
     scheduler_oracle: bool = False,
     serve_oracle: bool = False,
+    sketch_oracle: bool = False,
     progress: Optional[Callable[[DifferentialOutcome], None]] = None,
 ) -> FuzzSuiteReport:
     """The full differential sweep: ``n_seeds`` scenarios, two engines each.
@@ -365,7 +572,10 @@ def run_fuzz_suite(
     on the calendar-queue engine (heap × calendar × reference identity).
     With ``serve_oracle`` each seed is re-run hosted in a control-plane
     session, stepped in seed-dependent bounded slices, and must
-    fingerprint byte-identically to the batch path.
+    fingerprint byte-identically to the batch path.  With
+    ``sketch_oracle`` each seed runs the exact-vs-sketch estimator
+    comparison of :func:`run_sketch_differential` plus a full sketch-mode
+    run under invariant sweeps.
     """
     seeds = range(base_seed, base_seed + n_seeds)
     outcomes: list[DifferentialOutcome] = []
@@ -402,10 +612,20 @@ def run_fuzz_suite(
                 serve_matched = False
                 if progress is not None:
                     progress(served)
+    sketch_matched: Optional[bool] = None
+    if sketch_oracle:
+        sketch_matched = True
+        for seed in seeds:
+            sketched = run_sketch_differential(seed)
+            if not sketched.matched:
+                sketch_matched = False
+                if progress is not None:
+                    progress(sketched)
     return FuzzSuiteReport(
         outcomes=tuple(outcomes),
         parallel_matched=parallel_matched,
         serve_matched=serve_matched,
+        sketch_matched=sketch_matched,
     )
 
 

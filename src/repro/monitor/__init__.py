@@ -8,7 +8,18 @@ SPI coordinator in :mod:`repro.core` consumes.
 """
 
 from repro.monitor.window import EntropyAccumulator, SlidingRate, TumblingAccumulator
-from repro.monitor.features import FeatureExtractor, WindowFeatures
+from repro.monitor.sketch import (
+    CountMinSketch,
+    HeavyHitterSketch,
+    HyperLogLog,
+    SketchSourceStats,
+)
+from repro.monitor.features import (
+    ExactFeatureBackend,
+    FeatureExtractor,
+    SketchFeatureBackend,
+    WindowFeatures,
+)
 from repro.monitor.detectors import (
     AdaptiveThresholdDetector,
     AnomalyDetector,
@@ -27,8 +38,14 @@ __all__ = [
     "TumblingAccumulator",
     "SlidingRate",
     "EntropyAccumulator",
+    "CountMinSketch",
+    "HeavyHitterSketch",
+    "HyperLogLog",
+    "SketchSourceStats",
     "WindowFeatures",
     "FeatureExtractor",
+    "ExactFeatureBackend",
+    "SketchFeatureBackend",
     "AnomalyDetector",
     "Detection",
     "StaticThresholdDetector",

@@ -13,7 +13,11 @@ from dataclasses import dataclass, replace
 
 from repro.monitor.alerts import Alert, AlertBus
 from repro.monitor.detectors import AnomalyDetector
-from repro.monitor.features import FeatureExtractor, WindowFeatures
+from repro.monitor.features import (
+    DEFAULT_SKETCH_SEED,
+    FeatureExtractor,
+    WindowFeatures,
+)
 from repro.net.flowkey import FlowKey
 from repro.net.packet import Packet
 from repro.sim.process import PeriodicTask
@@ -23,11 +27,29 @@ from repro.switch.ovs import OpenFlowSwitch
 
 @dataclass(frozen=True)
 class MonitorConfig:
-    """Monitor tuning knobs."""
+    """Monitor tuning knobs.
+
+    ``backend`` selects the feature backend: ``"exact"`` keeps full
+    per-address dicts (historical behavior), ``"sketch"`` bounds monitor
+    memory by the sketch geometry (``sketch_width`` x ``sketch_depth``
+    counters per count-min sketch, ``2**hll_precision`` HyperLogLog
+    registers, ``sketch_topk`` heavy-hitter candidates) regardless of
+    how many distinct sources a flood spoofs.  ``per_destination_cap``
+    truncates the emitted per-destination maps to the top-k entries;
+    ``None`` (the default) keeps the full maps.
+    """
 
     window_s: float = 0.5
     sampling_probability: float = 1.0
     holddown_s: float = 2.0
+    backend: str = "exact"
+    sketch_width: int = 1024
+    sketch_depth: int = 4
+    sketch_topk: int = 8
+    hll_precision: int = 12
+    sketch_seed: int = DEFAULT_SKETCH_SEED
+    per_destination_cap: int | None = None
+    track_state_bytes: bool = False
 
     def __post_init__(self) -> None:
         if self.window_s <= 0:
@@ -36,6 +58,18 @@ class MonitorConfig:
             raise ValueError("sampling probability must be in (0, 1]")
         if self.holddown_s < 0:
             raise ValueError("holddown must be non-negative")
+        if self.backend not in ("exact", "sketch"):
+            raise ValueError("backend must be 'exact' or 'sketch'")
+        if self.sketch_width < 8:
+            raise ValueError("sketch width must be >= 8")
+        if self.sketch_depth < 1:
+            raise ValueError("sketch depth must be >= 1")
+        if self.sketch_topk < 1:
+            raise ValueError("sketch topk must be >= 1")
+        if not 4 <= self.hll_precision <= 16:
+            raise ValueError("hll precision must be in [4, 16]")
+        if self.per_destination_cap is not None and self.per_destination_cap < 1:
+            raise ValueError("per_destination_cap must be >= 1 (or None)")
 
 
 class TrafficMonitor:
@@ -56,7 +90,17 @@ class TrafficMonitor:
         self.bus = bus
         self.rng = rng
         self.config = config or MonitorConfig()
-        self.extractor = FeatureExtractor(self.config.sampling_probability)
+        self.extractor = FeatureExtractor(
+            self.config.sampling_probability,
+            backend=self.config.backend,
+            sketch_width=self.config.sketch_width,
+            sketch_depth=self.config.sketch_depth,
+            sketch_topk=self.config.sketch_topk,
+            hll_precision=self.config.hll_precision,
+            sketch_seed=self.config.sketch_seed,
+            per_destination_cap=self.config.per_destination_cap,
+            track_state_bytes=self.config.track_state_bytes,
+        )
         self.packets_seen = 0
         self.packets_sampled = 0
         self.windows_closed = 0

@@ -8,6 +8,7 @@ accumulator over a categorical key distribution (source IPs).
 from __future__ import annotations
 
 import math
+import sys
 from collections import Counter, deque
 
 
@@ -35,36 +36,42 @@ class TumblingAccumulator:
 class SlidingRate:
     """Events-per-second over a trailing horizon.
 
-    Stores event timestamps in a deque and evicts those older than the
-    horizon on every query; memory is bounded by rate x horizon.
+    Stores ``(timestamp, count)`` pairs in a deque with a running total,
+    so bulk adds are O(1) instead of appending ``count`` copies of the
+    same timestamp; eviction drops whole pairs older than the horizon.
+    Memory is bounded by add-call rate x horizon, independent of the
+    per-call counts.
     """
 
     def __init__(self, horizon_s: float) -> None:
         if horizon_s <= 0:
             raise ValueError("horizon must be positive")
         self.horizon_s = horizon_s
-        self._times: deque[float] = deque()
+        self._events: deque[tuple[float, int]] = deque()
+        self._total = 0
 
     def add(self, now: float, count: int = 1) -> None:
         """Record ``count`` events at time ``now``."""
-        for _ in range(count):
-            self._times.append(now)
+        if count > 0:
+            self._events.append((now, count))
+            self._total += count
         self._evict(now)
 
     def rate(self, now: float) -> float:
         """Events per second over the trailing horizon."""
         self._evict(now)
-        return len(self._times) / self.horizon_s
+        return self._total / self.horizon_s
 
     def count(self, now: float) -> int:
         """Events within the trailing horizon."""
         self._evict(now)
-        return len(self._times)
+        return self._total
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.horizon_s
-        while self._times and self._times[0] < cutoff:
-            self._times.popleft()
+        events = self._events
+        while events and events[0][0] < cutoff:
+            self._total -= events.popleft()[1]
 
 
 class EntropyAccumulator:
@@ -109,6 +116,13 @@ class EntropyAccumulator:
     def top(self, n: int = 1) -> list[tuple[str, int]]:
         """The ``n`` most frequent keys and their counts."""
         return self._counts.most_common(n)
+
+    def state_bytes(self) -> int:
+        """Resident bytes of the key counter — O(distinct keys)."""
+        counts = self._counts
+        return sys.getsizeof(counts) + sum(
+            sys.getsizeof(k) + sys.getsizeof(v) for k, v in counts.items()
+        )
 
     def reset(self) -> None:
         """Clear for the next window."""

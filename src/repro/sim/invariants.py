@@ -464,12 +464,68 @@ class MonitorAccountingChecker(InvariantChecker):
                     "feature extractor missed sampled packets",
                     now=now, node=monitor.name, trace=snapshot,
                 )
+            self._check_extractor_accounting(monitor, now)
             fresh = monitor.windows_closed - self._validated[monitor.name]
             fresh = min(fresh, len(monitor.window_history))
             if fresh > 0:
                 for features in monitor.window_history[-fresh:]:
                     self._check_window(monitor, features, now)
             self._validated[monitor.name] = monitor.windows_closed
+
+    def _check_extractor_accounting(self, monitor, now: float) -> None:
+        """Batch-fold and backend bookkeeping for the columnar extractor.
+
+        Every observed packet must be either folded into a closed window
+        or pending in the open batch, and every folded SYN/UDP must have
+        hit the feature backend exactly once.  For the sketch backend,
+        each count-min row must sum to the sketch's add total (each add
+        touches exactly one counter per row).
+        """
+        accounting = getattr(monitor.extractor, "accounting", None)
+        if accounting is None:  # e.g. a test double without batch state
+            return
+        acct = accounting()
+        trace = (" ".join(f"{k}={v}" for k, v in acct.items()),)
+        if acct["observed"] != acct["folded_total"] + acct["pending"]:
+            self.violation(
+                "batch accounting leak: observed packets != folded + pending",
+                now=now, node=monitor.name, trace=trace,
+            )
+        if acct["folded_syn"] != acct["backend_syn_adds"]:
+            self.violation(
+                "backend SYN adds diverge from folded SYN count",
+                now=now, node=monitor.name, trace=trace,
+            )
+        if acct["folded_udp"] != acct["backend_udp_adds"]:
+            self.violation(
+                "backend UDP adds diverge from folded UDP count",
+                now=now, node=monitor.name, trace=trace,
+            )
+        backend = getattr(monitor.extractor, "backend", None)
+        if backend is None or getattr(backend, "name", "") != "sketch":
+            return
+        sketches = (
+            ("syn", backend.syn_dsts),
+            ("udp", backend.udp_dsts),
+            ("sources", backend.sources.hitters),
+        )
+        for label, hitter in sketches:
+            cms = hitter.cms
+            for i, row_total in enumerate(cms.row_totals()):
+                if row_total != cms.total:
+                    self.violation(
+                        f"{label} count-min row {i} sums to {row_total}, "
+                        f"sketch counted {cms.total} adds",
+                        now=now, node=monitor.name, trace=trace,
+                    )
+        hll = backend.sources.hll
+        estimate = hll.estimate()
+        if (hll.total == 0) != (estimate == 0.0):
+            self.violation(
+                f"HyperLogLog registers inconsistent with {hll.total} adds "
+                f"(estimate {estimate})",
+                now=now, node=monitor.name, trace=trace,
+            )
 
     def _check_window(self, monitor, features, now: float) -> None:
         def bad(message: str) -> None:
@@ -503,23 +559,52 @@ class MonitorAccountingChecker(InvariantChecker):
             bad("rst count exceeds tcp packets in window")
         if features.fin_count > features.tcp_packets + eps:
             bad("fin count exceeds tcp packets in window")
-        syn_sum = sum(features.per_destination_syns.values())
-        if not math.isclose(
-            syn_sum, features.syn_count, rel_tol=_REL_TOL, abs_tol=eps
-        ):
-            bad(
-                f"per-destination SYNs sum to {syn_sum}, window counted "
-                f"{features.syn_count}"
-            )
-        udp_sum = sum(features.per_destination_udp.values())
-        if not math.isclose(
-            udp_sum, features.udp_packets, rel_tol=_REL_TOL, abs_tol=eps
-        ):
-            bad(
-                f"per-destination UDP sums to {udp_sum}, window counted "
-                f"{features.udp_packets}"
-            )
+        per_dest = (
+            (features.per_destination_syns, features.syn_count, "SYN"),
+            (features.per_destination_udp, features.udp_packets, "UDP"),
+        )
+        if features.backend == "sketch":
+            # Sketch per-destination maps are top-k count-min estimates:
+            # each entry never undercounts its key and never exceeds the
+            # window's own add total (the row-sum bound), but entries
+            # don't sum to the window count.
+            for dest_map, window_count, label in per_dest:
+                for ip, est in dest_map.items():
+                    if not -eps <= est <= window_count + eps:
+                        bad(
+                            f"sketch {label} estimate {est} for {ip} outside "
+                            f"[0, {window_count}]"
+                        )
+            # HyperLogLog can only have seen one key per SYN/UDP add;
+            # scaled counts are >= raw adds, so this bound is safe at
+            # any sampling rate (margin covers HLL estimation error).
+            add_ceiling = 1.25 * (features.syn_count + features.udp_packets) + 16
+            if features.distinct_sources > add_ceiling:
+                bad(
+                    f"sketch distinct sources {features.distinct_sources} "
+                    f"exceeds add ceiling {add_ceiling}"
+                )
+        else:
+            for dest_map, window_count, label in per_dest:
+                dest_sum = sum(dest_map.values())
+                if features.per_destination_capped:
+                    # Top-k truncation drops mass; the survivors can
+                    # only sum to at most the window count.
+                    if dest_sum > window_count + eps:
+                        bad(
+                            f"capped per-destination {label}s sum to "
+                            f"{dest_sum}, window counted {window_count}"
+                        )
+                elif not math.isclose(
+                    dest_sum, window_count, rel_tol=_REL_TOL, abs_tol=eps
+                ):
+                    bad(
+                        f"per-destination {label}s sum to {dest_sum}, "
+                        f"window counted {window_count}"
+                    )
         if features.per_destination_syns:
+            # Holds for all modes: the cap keeps the heaviest entries and
+            # the sketch top list is led by the reported top destination.
             top = max(features.per_destination_syns.values())
             if not math.isclose(
                 top, features.top_destination_syns, rel_tol=_REL_TOL, abs_tol=eps

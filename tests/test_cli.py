@@ -65,6 +65,19 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--engine", "quantum"])
 
+    def test_monitor_backend_sketch_detects(self, capsys):
+        code = main([
+            "run", "--duration", "12", "--rate", "300",
+            "--monitor-backend", "sketch", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["detections"] == 1
+
+    def test_monitor_backend_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--monitor-backend", "bloom"])
+
 
 class TestExperiment:
     def test_quick_experiment_prints_table(self, capsys):

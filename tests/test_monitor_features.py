@@ -202,3 +202,148 @@ class TestReusedAccumulators:
         second = fx.close_window(2.0)
         assert second.per_destination_syns == {"10.0.0.7": 3}
         assert second.per_destination_udp == {"10.0.0.7": 3}
+
+
+class TestSketchBackend:
+    """PR 7: the sketch feature backend must produce the same scalar
+    fields as exact and bounded-estimate maps."""
+
+    def test_scalars_match_exact(self):
+        exact = FeatureExtractor()
+        sketch = FeatureExtractor(backend="sketch")
+        for i in range(50):
+            for fx in (exact, sketch):
+                fx.observe(tcp(TCP_SYN, src_ip=f"10.1.{i}.1", dst_ip="10.0.0.2"))
+                fx.observe(udp(src_ip=f"10.2.{i}.1", dst_ip="10.0.0.3"))
+        a = exact.close_window(1.0)
+        b = sketch.close_window(1.0)
+        for name in (
+            "window_start", "window_end", "total_packets", "tcp_packets",
+            "syn_count", "synack_count", "ack_count", "rst_count",
+            "fin_count", "udp_packets",
+        ):
+            assert getattr(a, name) == getattr(b, name), name
+        assert a.backend == "exact" and b.backend == "sketch"
+
+    def test_sketch_estimates_bounded(self):
+        sketch = FeatureExtractor(backend="sketch")
+        for i in range(200):
+            sketch.observe(tcp(TCP_SYN, src_ip=f"10.1.{i % 40}.1", dst_ip="10.0.0.2"))
+        features = sketch.close_window(1.0)
+        # Count-min never undercounts the single true destination.
+        assert features.top_destination == "10.0.0.2"
+        assert features.top_destination_syns >= 200
+        assert features.per_destination_capped is True
+        # HLL distinct estimate is near the 40 true sources.
+        assert abs(features.distinct_sources - 40) <= 5
+        assert 0.0 <= features.source_entropy <= 1.0
+
+    def test_sketch_deterministic_across_instances(self):
+        runs = []
+        for _ in range(2):
+            fx = FeatureExtractor(backend="sketch")
+            for i in range(100):
+                fx.observe(tcp(TCP_SYN, src_ip=f"10.1.{i}.1", dst_ip="10.0.0.2"))
+            runs.append(fx.close_window(1.0))
+        assert runs[0] == runs[1]
+
+    def test_sketch_windows_reset(self):
+        fx = FeatureExtractor(backend="sketch")
+        for i in range(30):
+            fx.observe(tcp(TCP_SYN, src_ip=f"10.1.{i}.1"))
+        first = fx.close_window(1.0)
+        second = fx.close_window(2.0)
+        assert first.syn_count == 30
+        assert second.syn_count == 0
+        assert second.distinct_sources == 0
+        assert second.per_destination_syns == {}
+
+    def test_sketch_state_bytes_bounded(self):
+        fx = FeatureExtractor(backend="sketch", track_state_bytes=True)
+        for i in range(5_000):
+            fx.observe(tcp(TCP_SYN, src_ip=f"10.{i >> 8}.{i & 255}.1"))
+        fx.close_window(1.0)
+        few = FeatureExtractor(backend="sketch", track_state_bytes=True)
+        few.observe(tcp(TCP_SYN))
+        few.close_window(1.0)
+        assert fx.peak_state_bytes <= few.peak_state_bytes * 1.1
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(backend="bogus")
+
+
+class TestPerDestinationCap:
+    """PR 7 satellite: per-destination maps stay full-fidelity by default
+    (cap=None) and truncate to the top-k hottest keys when capped."""
+
+    def test_default_uncapped_full_maps(self):
+        fx = FeatureExtractor()
+        for i in range(20):
+            fx.observe(tcp(TCP_SYN, dst_ip=f"10.9.{i}.1"))
+        features = fx.close_window(1.0)
+        assert len(features.per_destination_syns) == 20
+        assert features.per_destination_capped is False
+
+    def test_cap_keeps_hottest_keys(self):
+        fx = FeatureExtractor(per_destination_cap=2)
+        for _ in range(5):
+            fx.observe(tcp(TCP_SYN, dst_ip="10.9.0.1"))
+        for _ in range(3):
+            fx.observe(tcp(TCP_SYN, dst_ip="10.9.0.2"))
+        fx.observe(tcp(TCP_SYN, dst_ip="10.9.0.3"))
+        features = fx.close_window(1.0)
+        assert features.per_destination_syns == {"10.9.0.1": 5, "10.9.0.2": 3}
+        assert features.per_destination_capped is True
+        assert features.top_destination == "10.9.0.1"
+        assert features.top_destination_syns == 5
+
+    def test_cap_not_exceeded_leaves_map_intact(self):
+        fx = FeatureExtractor(per_destination_cap=8)
+        fx.observe(tcp(TCP_SYN, dst_ip="10.9.0.1"))
+        fx.observe(udp(dst_ip="10.9.0.2"))
+        features = fx.close_window(1.0)
+        assert features.per_destination_syns == {"10.9.0.1": 1}
+        assert features.per_destination_udp == {"10.9.0.2": 1}
+        assert features.per_destination_capped is False
+
+    def test_cap_applies_to_udp_map(self):
+        fx = FeatureExtractor(per_destination_cap=1)
+        for _ in range(4):
+            fx.observe(udp(dst_ip="10.9.0.1"))
+        fx.observe(udp(dst_ip="10.9.0.2"))
+        features = fx.close_window(1.0)
+        assert features.per_destination_udp == {"10.9.0.1": 4}
+        assert features.per_destination_capped is True
+
+
+class TestAccounting:
+    """PR 7: the batched fold's conservation counters feed the invariant
+    checker; every observed packet must be folded or still pending."""
+
+    def test_observed_equals_folded_plus_pending(self):
+        fx = FeatureExtractor()
+        for _ in range(6):
+            fx.observe(tcp(TCP_SYN))
+        fx.close_window(1.0)
+        for _ in range(4):
+            fx.observe(udp())
+        acct = fx.accounting()
+        assert acct["observed"] == 10
+        assert acct["folded_total"] == 6
+        assert acct["pending"] == 4
+        assert fx.pending_packets == 4
+
+    def test_backend_adds_match_folded_totals(self):
+        for backend in ("exact", "sketch"):
+            fx = FeatureExtractor(backend=backend)
+            for i in range(12):
+                fx.observe(tcp(TCP_SYN, src_ip=f"10.1.{i}.1"))
+            for _ in range(7):
+                fx.observe(udp())
+            fx.observe(tcp(TCP_ACK))  # folded but not a SYN/UDP add
+            fx.close_window(1.0)
+            acct = fx.accounting()
+            assert acct["folded_syn"] == acct["backend_syn_adds"] == 12
+            assert acct["folded_udp"] == acct["backend_udp_adds"] == 7
+            assert acct["folded_total"] == 20

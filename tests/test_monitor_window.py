@@ -109,3 +109,87 @@ class TestEntropy:
         for i in range(n):
             acc.add(f"198.18.0.{i}")
         assert acc.entropy() == pytest.approx(1.0)
+
+
+class TestSlidingRateBulkEquivalence:
+    """PR 7 regression: bulk adds are O(1) — one (timestamp, count) pair —
+    and must stay numerically equivalent to count repeated unit adds."""
+
+    def test_bulk_add_stores_one_pair(self):
+        rate = SlidingRate(horizon_s=5.0)
+        rate.add(1.0, count=10_000)
+        assert len(rate._events) == 1
+        assert rate.count(1.0) == 10_000
+
+    def test_zero_count_stores_nothing(self):
+        rate = SlidingRate(horizon_s=5.0)
+        rate.add(1.0, count=0)
+        assert len(rate._events) == 0
+        assert rate.count(1.0) == 0
+
+    def test_partial_eviction_removes_whole_pairs(self):
+        rate = SlidingRate(horizon_s=1.0)
+        rate.add(0.0, count=3)
+        rate.add(0.8, count=5)
+        assert rate.count(now=1.5) == 5
+        assert rate.count(now=2.5) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                st.integers(min_value=0, max_value=200),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_bulk_equivalent_to_unit_adds(self, events):
+        """(t, n) bulk adds match n unit adds at t, for rate and count."""
+        events = sorted(events)
+        bulk = SlidingRate(horizon_s=2.0)
+        unit = SlidingRate(horizon_s=2.0)
+        for t, n in events:
+            bulk.add(t, count=n)
+            for _ in range(n):
+                unit.add(t)
+        now = events[-1][0]
+        assert bulk.count(now) == unit.count(now)
+        assert bulk.rate(now) == pytest.approx(unit.rate(now))
+
+
+class TestEntropyEdgeCases:
+    """PR 7 satellite: edge inputs for the exact accumulator that also
+    anchor the sketch-backend property bounds."""
+
+    def test_single_key_large_amount(self):
+        acc = EntropyAccumulator()
+        acc.add("only", 10**9)
+        assert acc.entropy() == 0.0
+        assert acc.total == 10**9
+        assert acc.distinct == 1
+
+    def test_uniform_large_amounts(self):
+        acc = EntropyAccumulator()
+        for i in range(16):
+            acc.add(f"k{i}", 10**6)
+        assert acc.entropy() == pytest.approx(1.0)
+
+    def test_mixed_unit_and_bulk_adds_equivalent(self):
+        bulk = EntropyAccumulator()
+        unit = EntropyAccumulator()
+        bulk.add("a", 3)
+        bulk.add("b", 2)
+        for key in ("a", "a", "a", "b", "b"):
+            unit.add(key)
+        assert bulk.entropy() == pytest.approx(unit.entropy())
+        assert bulk.top(2) == unit.top(2)
+
+    def test_state_bytes_grows_with_keys(self):
+        acc = EntropyAccumulator()
+        acc.add("a")
+        small = acc.state_bytes()
+        for i in range(10_000):
+            acc.add(f"key-{i}")
+        assert acc.state_bytes() > small
