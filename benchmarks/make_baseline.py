@@ -4,7 +4,8 @@ Usage::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_micro_substrate.py \
         benchmarks/bench_scenario_throughput.py \
-        benchmarks/bench_monitor_plane.py --benchmark-json=/tmp/m1.json
+        benchmarks/bench_monitor_plane.py \
+        benchmarks/bench_sharded.py --benchmark-json=/tmp/m1.json
     python benchmarks/make_baseline.py /tmp/m1.json \
         benchmarks/results/m1_baseline.json
 
@@ -40,6 +41,7 @@ BASELINE_CASES = (
     "test_monitor_plane_sketch",
     "test_monitor_plane_sketch_small",
     "test_monitor_plane_sketch_deep",
+    "test_sharded_single_shard_overhead",
 )
 STATS_KEYS = (
     "min", "max", "mean", "stddev", "median", "iqr", "ops", "rounds", "iterations"

@@ -100,6 +100,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--link-loss", type=float, default=0.0,
                      help="random per-packet loss probability on every link")
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="partition the topology across N worker processes "
+                          "(repro.sim.sharded); fingerprints are identical "
+                          "at any shard count")
     run.add_argument("--engine", default="optimized", choices=ENGINES,
                      help="event scheduler: tuple heap (optimized), calendar "
                           "queue, or the reference loop (results identical)")
@@ -279,6 +283,10 @@ def _command_run(args: argparse.Namespace) -> int:
         from repro.harness.serialize import load_config
 
         config = load_config(args.config)
+        if args.shards != 1:
+            from dataclasses import replace
+
+            config = replace(config, shards=args.shards)
     else:
         config = ScenarioConfig(
             topology=args.topology,
@@ -290,6 +298,7 @@ def _command_run(args: argparse.Namespace) -> int:
             syn_cookies=args.syn_cookies,
             link_loss_probability=args.link_loss,
             engine=args.engine,
+            shards=args.shards,
             check_invariants=args.check_invariants,
             pooling=not args.no_pooling,
             burst_coalescing=not args.no_burst_coalescing,

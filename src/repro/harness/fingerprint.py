@@ -1,0 +1,60 @@
+"""Shared fingerprint row builders.
+
+:func:`repro.harness.fuzzer.fingerprint` and the sharded merge
+(:mod:`repro.sim.sharded.merge`) must emit *identical* structures — the
+whole point of the sharded oracle is byte-for-byte JSON equality — so
+the per-subsystem row shapes live here, used by both.  Anything added
+to a row here is automatically covered by every differential oracle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.switch.ovs import OpenFlowSwitch
+    from repro.tcp.stack import TcpStack
+
+__all__ = ["switch_row", "link_row", "stack_row", "LINK_FIELDS"]
+
+#: LinkStats attributes a link row reports, in row order.  ``in_flight``
+#: and ``unrouted`` are deliberately absent: a packet exported across a
+#: shard boundary stays "in flight" on the transmitting replica forever
+#: (the receiving shard owns its delivery), so those two counters are
+#: the only ones that legitimately differ between sharded and
+#: single-process runs.
+LINK_FIELDS = (
+    ("sent", "packets_sent"),
+    ("bytes", "bytes_sent"),
+    ("queue_drops", "packets_dropped"),
+    ("delivered", "packets_delivered"),
+    ("lost", "packets_lost"),
+)
+
+
+def switch_row(switch: "OpenFlowSwitch") -> dict[str, Any]:
+    """One switch's fingerprint row (datapath counters + table stats)."""
+    counters = dict(vars(switch.counters))
+    stats = switch.table.stats()
+    # microflow_* counters legitimately differ with the cache off;
+    # everything else must not.
+    return {
+        **counters,
+        "table_entries": stats.entry_count,
+        "lookups": stats.lookups,
+        "hits": stats.hits,
+        "misses": stats.misses,
+    }
+
+
+def link_row(iface, stats) -> dict[str, Any]:
+    """One link direction's fingerprint row, keyed by its tx interface."""
+    row: dict[str, Any] = {"from": f"{iface.node.name}:{iface.port_no}"}
+    for key, attr in LINK_FIELDS:
+        row[key] = getattr(stats, attr)
+    return row
+
+
+def stack_row(stack: "TcpStack") -> dict[str, Any]:
+    """One TCP stack's fingerprint row."""
+    return dict(vars(stack.counters))

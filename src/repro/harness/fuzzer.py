@@ -53,6 +53,7 @@ __all__ = [
     "generate_scenario",
     "reference_variant",
     "calendar_variant",
+    "sharded_variant",
     "fastpath_variant",
     "fingerprint",
     "fingerprint_json",
@@ -142,42 +143,43 @@ def calendar_variant(config: ScenarioConfig) -> ScenarioConfig:
     return replace(config, engine="calendar")
 
 
+def sharded_variant(config: ScenarioConfig, shards: int) -> ScenarioConfig:
+    """The same scenario partitioned across ``shards`` engines.
+
+    Forced onto the calendar scheduler so the scheduler oracle holds one
+    fingerprint across heap × calendar × reference × sharded-at-any-N.
+    """
+    return replace(config, engine="calendar", shards=shards)
+
+
 def fastpath_variant(config: ScenarioConfig) -> ScenarioConfig:
     """The same scenario with the allocation fast path fully disabled."""
     return replace(config, pooling=False, burst_coalescing=False)
 
 
 def fingerprint(result: ScenarioResult) -> dict[str, Any]:
-    """Every strategy-invariant metric of a finished run, as plain data."""
+    """Every strategy-invariant metric of a finished run, as plain data.
+
+    A result that carries precomputed ``fingerprint_data`` (a sharded
+    run, whose counters are merged across worker processes by
+    :mod:`repro.sim.sharded.merge`) returns it verbatim — same keys,
+    same row shapes, so the JSON form stays byte-comparable.
+    """
+    precomputed = getattr(result, "fingerprint_data", None)
+    if precomputed is not None:
+        return precomputed
+    from repro.harness.fingerprint import link_row, stack_row, switch_row
+
     net = result.net
-    switches = {}
-    for name, switch in sorted(net.switches.items()):
-        counters = dict(vars(switch.counters))
-        stats = switch.table.stats()
-        # microflow_* counters legitimately differ with the cache off;
-        # everything else must not.
-        switches[name] = {
-            **counters,
-            "table_entries": stats.entry_count,
-            "lookups": stats.lookups,
-            "hits": stats.hits,
-            "misses": stats.misses,
-        }
+    switches = {
+        name: switch_row(switch) for name, switch in sorted(net.switches.items())
+    }
     links = []
     for link in net.links:
         for iface in (link.a, link.b):
-            stats = link.stats_for(iface)
-            links.append({
-                "from": f"{iface.node.name}:{iface.port_no}",
-                "sent": stats.packets_sent,
-                "bytes": stats.bytes_sent,
-                "queue_drops": stats.packets_dropped,
-                "delivered": stats.packets_delivered,
-                "lost": stats.packets_lost,
-            })
+            links.append(link_row(iface, link.stats_for(iface)))
     stacks = {
-        name: dict(vars(stack.counters))
-        for name, stack in sorted(net.stacks.items())
+        name: stack_row(stack) for name, stack in sorted(net.stacks.items())
     }
     data: dict[str, Any] = {
         "detections": result.detection_times(),
@@ -270,8 +272,10 @@ def run_differential(
     With ``fastpath_oracle`` the scenario additionally runs with packet
     pooling and burst coalescing forced off — on both engines — and all
     four fingerprints must be byte-identical.  With ``scheduler_oracle``
-    it also runs on the calendar-queue engine, holding heap × calendar ×
-    reference to one fingerprint.
+    it also runs on the calendar-queue engine **and** through the
+    sharded coordinator at 1, 2 and 4 shards (inline workers, full
+    epoch/batch protocol), holding every scheduling strategy to one
+    fingerprint.
     """
     config = generate_scenario(seed)
     variants: list[tuple[str, ScenarioConfig]] = [
@@ -279,15 +283,26 @@ def run_differential(
     ]
     if scheduler_oracle:
         variants.append(("calendar", calendar_variant(config)))
+        for shards in (1, 2, 4):
+            variants.append(
+                (f"sharded-{shards}", sharded_variant(config, shards))
+            )
     if fastpath_oracle:
         slow = fastpath_variant(config)
         variants.append(("fastpath-off", slow))
         variants.append(("reference+fastpath-off", reference_variant(slow)))
+
+    def _run_variant(name: str, variant: ScenarioConfig) -> str:
+        if name.startswith("sharded"):
+            from repro.sim.sharded.coordinator import run_sharded_scenario
+
+            return fingerprint_json(run_sharded_scenario(variant, inline=True))
+        return fingerprint_json(run_scenario(variant))
+
     try:
         optimized = fingerprint_json(run_scenario(config))
         others = [
-            (name, fingerprint_json(run_scenario(variant)))
-            for name, variant in variants
+            (name, _run_variant(name, variant)) for name, variant in variants
         ]
     except InvariantViolation as violation:
         return DifferentialOutcome(

@@ -134,6 +134,11 @@ class ScenarioConfig:
     microflow_cache: bool = True
     pooling: bool = True
     burst_coalescing: bool = True
+    # Multi-process domain decomposition (repro.sim.sharded): 1 runs the
+    # classic single-process path, N > 1 partitions the topology across
+    # N engines synchronized by conservative lookahead.  Fingerprints
+    # are byte-identical either way (the sharded oracle asserts it).
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.topology not in TOPOLOGIES:
@@ -148,6 +153,8 @@ class ScenarioConfig:
             raise ValueError(f"unknown engine {self.engine!r}; choose from {ENGINES}")
         if self.invariant_period_s <= 0:
             raise ValueError("invariant period must be positive")
+        if self.shards < 1:
+            raise ValueError("shard count must be >= 1")
 
 
 @dataclass
@@ -454,7 +461,17 @@ def finish_scenario(result: ScenarioResult) -> ScenarioResult:
 
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build, run and wrap one scenario (the batch path)."""
+    """Build, run and wrap one scenario (the batch path).
+
+    With ``config.shards > 1`` the run is handed to the sharded
+    coordinator; the returned :class:`ShardedResult` quacks like a
+    :class:`ScenarioResult` (it delegates every accessor to the
+    coordinator shard's result and carries the merged fingerprint).
+    """
+    if config.shards > 1:
+        from repro.sim.sharded.coordinator import run_sharded_scenario
+
+        return run_sharded_scenario(config)
     result = build_scenario(config)
     result.net.run(until=result.config.duration_s)
     return finish_scenario(result)

@@ -51,6 +51,11 @@ class AlertBus:
         self.sim = sim
         self.latency_s = latency_s
         self._listeners: list[AlertListener] = []
+        # Sharded boundary stub: when set, publishes are exported to the
+        # coordinator shard (which hosts every subscriber) instead of
+        # being scheduled locally; the coordinator re-injects them at
+        # publish time + latency via deliver().
+        self.export: Callable[[Alert], None] | None = None
         self.published = 0
 
     def subscribe(self, listener: AlertListener) -> None:
@@ -60,5 +65,18 @@ class AlertBus:
     def publish(self, alert: Alert) -> None:
         """Deliver ``alert`` to every subscriber after the bus latency."""
         self.published += 1
+        if self.export is not None:
+            self.export(alert)
+            return
         for listener in self._listeners:
             self.sim.schedule(self.latency_s, lambda l=listener: l(alert), "alertbus")
+
+    def deliver(self, alert: Alert) -> None:
+        """Run an imported alert through every subscriber, immediately.
+
+        The exporting shard already applied the bus latency; this runs
+        at the alert's arrival time, in subscription order — the same
+        order the per-listener events fire in a single-process run.
+        """
+        for listener in self._listeners:
+            listener(alert)

@@ -83,6 +83,11 @@ class LinkEnd:
         self._serializing: Optional[Packet] = None
         self._propagating: deque[Packet] = deque()
         self._peer: Optional["Interface"] = None
+        # Sharded boundary stub: when set, frames that finish serializing
+        # are handed to the export callback instead of propagating locally
+        # (the receiving shard re-injects them via import_deliver).  See
+        # repro.sim.sharded.runtime.
+        self.export: Optional[Callable[[Packet], None]] = None
         self.stats = LinkStats()
 
     def attach_peer(self, peer: "Interface") -> None:
@@ -145,6 +150,12 @@ class LinkEnd:
             pool = packet._pool
             if pool is not None:
                 pool.release(packet)
+        elif self.export is not None:
+            # Loss is decided above (the rng draw stays on the sending
+            # shard); what survives crosses the boundary.  The frame
+            # stays counted in_flight on this replica — delivery happens
+            # on the shard that owns the far end.
+            self.export(packet)
         elif self._peer is not None:
             self._propagating.append(packet)
             propagate = (self._delay_s, self._deliver_next, "link.propagate")
@@ -164,6 +175,16 @@ class LinkEnd:
             self._transmitting = False
             if propagate is not None:
                 self._sim.schedule(*propagate)
+
+    def import_deliver(self, packet: Packet) -> None:
+        """Deliver a frame serialized on another shard's replica.
+
+        Called at the frame's arrival time by the sharded runner on the
+        shard that owns the receiving node.  Only the delivery-side
+        counters move: transmission was accounted on the sending shard.
+        """
+        self.stats.packets_delivered += 1
+        self._peer.deliver(packet)
 
     def _deliver_next(self) -> None:
         packet = self._propagating.popleft()

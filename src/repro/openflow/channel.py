@@ -49,6 +49,14 @@ class ControlChannel:
         self.bandwidth_bps = bandwidth_bps
         self._switch: "OpenFlowSwitch | None" = None
         self._controller: "Controller | None" = None
+        # Sharded boundary stubs: when the switch and the controller
+        # live on different shards, the owning side replaces the local
+        # schedule with an export of (message, arrival_time); the peer
+        # shard re-injects via deliver_to_controller / deliver_to_switch.
+        # Stats and the per-direction free_at advance on the exporting
+        # side only, exactly as in the single-process run.
+        self.export_up: Callable[[Message, float], None] | None = None
+        self.export_down: Callable[[Message, float], None] | None = None
         self.stats = ChannelStats()
         # Outage switch: while down, messages in both directions vanish
         # (the TCP session to the controller is broken).  Installed flow
@@ -84,6 +92,9 @@ class ControlChannel:
         self.stats.to_controller_bytes += message.wire_size()
         delay, done = self._delivery_delay(message, self._controller_bound_free_at)
         self._controller_bound_free_at = done
+        if self.export_up is not None:
+            self.export_up(message, self._sim.now + delay)
+            return
         controller = self._controller
         switch = self._switch
         self._sim.schedule(
@@ -101,5 +112,22 @@ class ControlChannel:
         self.stats.to_switch_bytes += message.wire_size()
         delay, done = self._delivery_delay(message, self._switch_bound_free_at)
         self._switch_bound_free_at = done
+        if self.export_down is not None:
+            self.export_down(message, self._sim.now + delay)
+            return
         switch = self._switch
         self._sim.schedule(delay, lambda: switch.handle_message(message), "ofchan.down")
+
+    def deliver_to_controller(self, message: Message) -> None:
+        """Hand an imported switch->controller message over, immediately.
+
+        The exporting shard already accounted the message and its
+        latency; this runs at the precomputed arrival time.
+        """
+        if self._controller is not None:
+            self._controller.handle_message(self._switch, message)
+
+    def deliver_to_switch(self, message: Message) -> None:
+        """Hand an imported controller->switch message over, immediately."""
+        if self._switch is not None:
+            self._switch.handle_message(message)

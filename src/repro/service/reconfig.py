@@ -86,7 +86,20 @@ def _manager(result: ScenarioResult):
 def apply_reconfig(
     result: ScenarioResult, target: str, params: dict[str, Any]
 ) -> dict[str, Any]:
-    """Apply one reconfiguration to a live scenario; returns what changed."""
+    """Apply one reconfiguration to a live scenario; returns what changed.
+
+    On a sharded session ``result`` is the coordinator shard's live
+    scenario: mitigation and SPI/budget state is centralized there, so
+    those targets work unchanged, but monitors (and their detectors)
+    execute on the worker shards that own their switches — a
+    coordinator-side retune would mutate inert replicas.  Those targets
+    are rejected rather than silently ignored.
+    """
+    if target in ("detector", "monitor") and getattr(result, "is_sharded", False):
+        raise ValueError(
+            f"target {target!r} is not reconfigurable on a sharded session: "
+            "monitors run on worker shards the coordinator cannot mutate"
+        )
     if target == "detector":
         _retune_detectors(result, dict(params))
         return dict(params)

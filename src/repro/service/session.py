@@ -99,6 +99,11 @@ class Session:
         self.drain_grace_s = drain_grace_s
         self.state = SessionState.PENDING
         self.result: Optional[ScenarioResult] = None
+        #: Epoch coordinator when the config asks for ``shards > 1``.
+        #: ``result`` then starts as the coordinator shard's live
+        #: scenario (reconfig events and mitigation APIs act on it) and
+        #: is swapped for the merged ShardedResult at finish.
+        self._sharded = None
         self.error: Optional[str] = None
         #: Applied/rejected reconfigurations, in application order.
         self.reconfig_log: list[dict[str, Any]] = []
@@ -118,7 +123,13 @@ class Session:
         """Build the scenario and enter ``RUNNING``."""
         self._transition(SessionState.RUNNING)
         try:
-            self.result = build_scenario(self.config)
+            if self.config.shards > 1:
+                from repro.sim.sharded.coordinator import ShardedRun
+
+                self._sharded = ShardedRun(self.config)
+                self.result = self._sharded.coordinator.result
+            else:
+                self.result = build_scenario(self.config)
             for at, target, params in self._queued:
                 self._schedule_on_clock(at, target, params)
             self._queued.clear()
@@ -135,10 +146,17 @@ class Session:
         or ``slice_events`` executed events.  When the configured end of
         the run (or the drain deadline) is reached, the scenario is
         finished and the session turns ``DONE``.
+
+        A sharded session advances whole lookahead epochs up to the
+        slice boundary; the event budget is not enforced across worker
+        processes (epochs are already bounded to ``lookahead`` seconds
+        of simulated time each).
         """
         if self.state not in (SessionState.RUNNING, SessionState.DRAINING):
             raise IllegalTransition(self.state, SessionState.RUNNING)
         assert self.result is not None
+        if self._sharded is not None:
+            return self._step_sharded()
         sim = self.result.net.sim
         target = min(sim.now + self.slice_s, self._end_s)
         before = sim.events_executed
@@ -151,6 +169,20 @@ class Session:
         self.steps += 1
         hit_budget = sim.events_executed - before >= self.slice_events
         if not hit_budget and target >= self._end_s:
+            self._finish()
+        return self.state
+
+    def _step_sharded(self) -> SessionState:
+        assert self._sharded is not None
+        target = min(self._sharded.now + self.slice_s, self._end_s)
+        try:
+            self._sharded.advance(target)
+        except Exception as exc:  # incl. ShardWorkerError after teardown
+            self.state = SessionState.FAILED
+            self.error = f"{type(exc).__name__}: {exc}"
+            return self.state
+        self.steps += 1
+        if target >= self._end_s:
             self._finish()
         return self.state
 
@@ -179,8 +211,15 @@ class Session:
         if grace < 0:
             raise ValueError("drain grace must be >= 0")
         sim = self.result.net.sim
-        self.result.workload.stop()
+        if self._sharded is not None:
+            # All shards stop generating at the current barrier (their
+            # clocks agree with the coordinator's between epochs).
+            self._sharded.stop_workload()
+        else:
+            self.result.workload.stop()
         self._end_s = min(self._end_s, sim.now + grace)
+        if self._sharded is not None:
+            self._sharded.set_duration(self._end_s)
         self.result.net.tracer.emit(
             "service.drain",
             f"session={self.id} grace={grace:g}s end={self._end_s:g}",
@@ -191,7 +230,10 @@ class Session:
     def _finish(self) -> None:
         assert self.result is not None
         try:
-            finish_scenario(self.result)
+            if self._sharded is not None:
+                self.result = self._sharded.finalize()
+            else:
+                finish_scenario(self.result)
         except Exception as exc:
             self.state = SessionState.FAILED
             self.error = f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,125 @@
+"""Merge per-shard reports into one single-process-shaped fingerprint.
+
+The sharded oracle demands byte-identical JSON against
+:func:`repro.harness.fuzzer.fingerprint` on a single-process run, so
+this module rebuilds exactly that structure (same keys, same row shapes
+— shared via :mod:`repro.harness.fingerprint`) from:
+
+* the coordinator's finished :class:`ScenarioResult` — everything
+  centralized lives here verbatim: detections, alerts, SPI/DPI stats,
+  trace categories, invariant sweeps, final time (every trace emitter
+  in the tree is a coordinator-side subsystem: correlator, mitigation
+  manager, SPI, baselines);
+* one :meth:`ShardRuntime.report` dict per shard — the owned slices of
+  the distributed counters: switch/stack rows, per-client service
+  stats, per-attacker send counts, and per-direction link counters
+  (cut-link counters are *split* across the two owning shards — tx-side
+  counts sent/bytes/drops/lost, rx-side counts delivered — and sum
+  field-wise to the single-process row).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from types import SimpleNamespace
+from typing import Any
+
+from repro.harness.fingerprint import LINK_FIELDS, link_row
+
+__all__ = ["graft_workload", "merged_fingerprint_data"]
+
+
+def graft_workload(result, reports: list[dict]) -> None:
+    """Graft worker-owned workload ledgers onto the coordinator's replicas.
+
+    Client attempt ledgers and attacker send counts are whole-object
+    state, so after grafting, *every* windowed accessor on the
+    coordinator's result — ``success_rate(start, end)``,
+    ``mean_latency``, ``attack_packets_sent`` — answers for the whole
+    topology, not just shard 0.  Flash-crowd counters are summed (each
+    spawn is counted by exactly one shard).
+    """
+    workload = result.workload
+    for report in reports:
+        if report["shard"] == 0:
+            continue
+        for name, stats in report["client_stats"].items():
+            workload.clients[name].stats = stats
+        for name, sent in report["attacker_sent"].items():
+            workload.attackers[name].packets_sent = sent
+        flash = report["flash_crowd"]
+        if flash is not None and result.flash_crowd is not None:
+            started, completed, failed = flash
+            result.flash_crowd.connections_started += started
+            result.flash_crowd.connections_completed += completed
+            result.flash_crowd.connections_failed += failed
+
+
+def merged_fingerprint_data(result, reports: list[dict]) -> dict[str, Any]:
+    """The fingerprint dict of a sharded run (see module docstring).
+
+    ``result`` is the coordinator's finished scenario, already grafted
+    by :func:`graft_workload`; ``reports`` holds every shard's report
+    (any order; each switch/host appears in exactly one).
+    """
+    net = result.net
+
+    switches: dict[str, Any] = {}
+    stacks: dict[str, Any] = {}
+    link_sums: dict[tuple[int, int], list[int]] = {}
+    for report in reports:
+        switches.update(report["switches"])
+        stacks.update(report["stacks"])
+        for index, direction, *values in report["links"]:
+            total = link_sums.setdefault((index, direction), [0] * len(values))
+            for position, value in enumerate(values):
+                total[position] += value
+
+    links = []
+    for (index, direction), values in link_sums.items():
+        link = net.links[index]
+        iface = (link.a, link.b)[direction]
+        stats = SimpleNamespace(
+            **{attr: value for (_key, attr), value in zip(LINK_FIELDS, values)}
+        )
+        links.append(link_row(iface, stats))
+
+    # Datapath-wide ratios recomputed from the merged rows (the
+    # coordinator's own replicas of foreign switches saw no traffic).
+    buffer_evictions = sum(row["buffer_evictions"] for row in switches.values())
+    if result.tap_dpi is not None:
+        inspected_fraction = result.tap_dpi.stats.inspected_fraction
+    elif result.spi is not None:
+        packets_in = sum(row["packets_in"] for row in switches.values())
+        mirrored = sum(row["packets_mirrored"] for row in switches.values())
+        inspected_fraction = mirrored / packets_in if packets_in else 0.0
+    else:
+        inspected_fraction = 0.0
+
+    data: dict[str, Any] = {
+        "detections": result.detection_times(),
+        "alerts": result.alert_times(),
+        # Exact post-graft: the workload accessors see every shard.
+        "success_rate": result.success_rate(),
+        "mean_latency": result.mean_latency(),
+        "attack_packets": result.workload.attack_packets_sent(),
+        "inspected_fraction": inspected_fraction,
+        "buffer_evictions": buffer_evictions,
+        "switches": dict(sorted(switches.items())),
+        "links": sorted(links, key=lambda row: row["from"]),
+        "stacks": dict(sorted(stacks.items())),
+        "trace_categories": dict(
+            sorted(Counter(e.category for e in net.tracer.entries()).items())
+        ),
+        "final_time": net.sim.now,
+        "invariant_sweeps": (
+            result.invariants.checks_run if result.invariants else 0
+        ),
+    }
+    if result.spi is not None:
+        data["spi"] = dict(vars(result.spi.stats))
+        if result.spi.dpi is not None:
+            data["dpi"] = dict(vars(result.spi.dpi.stats))
+    if result.tap_dpi is not None:
+        data["tap_dpi"] = dict(vars(result.tap_dpi.stats))
+    return data

@@ -1,0 +1,149 @@
+"""Deterministic topology partitioning for sharded simulation.
+
+The sharded runner (:mod:`repro.sim.sharded`) replicates one scenario
+build in every worker process and then assigns each switch — and the
+hosts hanging off it — to exactly one shard.  The partition therefore
+has to be a *pure function of (topology, seed, shard count)*: every
+replica computes it independently and they must all agree, or the
+boundary protocol falls apart.  The property tests in
+``tests/test_topology_partition.py`` assert exactly that, plus the
+structural guarantees the runner relies on:
+
+* every switch and every host lands in exactly one shard;
+* the cut set contains only inter-domain switch-to-switch links (a
+  host's access link is never cut — hosts inherit their edge switch's
+  domain);
+* the root switch (the inspector's switch, where the correlator's
+  flow-mods land first) is always in shard 0, the coordinator.
+
+The assignment walks the switch adjacency graph in DFS preorder from
+the root (adjacency in link-creation order, so the walk is reproducible
+from the builder alone) and slices the preorder into contiguous chunks,
+one per shard.  Contiguity keeps cut sets small on the tree-shaped
+standard topologies: a subtree mostly stays on one shard.  When the
+switch count does not divide evenly, the shards that receive one extra
+switch are chosen by a seeded draw — that is the only randomness, and
+it is keyed on ``(seed, shard count, switch count)`` only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.topology.builder import Network
+
+__all__ = ["TopologyPartition", "partition_network"]
+
+
+@dataclass(frozen=True)
+class TopologyPartition:
+    """One deterministic assignment of a topology to ``n_shards`` domains."""
+
+    n_shards: int
+    seed: int
+    root: str
+    #: DFS preorder of the switch graph from ``root`` (ties in
+    #: link-creation order); the contiguous chunks of this sequence are
+    #: the shard domains.
+    preorder: tuple[str, ...]
+    #: Switch name -> owning shard index.
+    switch_domain: dict[str, int] = field(hash=False)
+    #: Host name -> owning shard (the domain of its edge switch).
+    host_domain: dict[str, int] = field(hash=False)
+    #: Indices into ``net.links`` whose endpoints live in different
+    #: domains.  Only switch-to-switch links can appear here.
+    cut_links: tuple[int, ...] = ()
+
+    def switches_in(self, shard: int) -> tuple[str, ...]:
+        """The switches owned by ``shard``, in preorder."""
+        return tuple(s for s in self.preorder if self.switch_domain[s] == shard)
+
+    def hosts_in(self, shard: int) -> tuple[str, ...]:
+        """The hosts owned by ``shard`` (builder registration order)."""
+        return tuple(h for h, d in self.host_domain.items() if d == shard)
+
+
+def _switch_adjacency(net: "Network") -> dict[str, list[str]]:
+    """Switch-to-switch adjacency, neighbors in link-creation order."""
+    adjacency: dict[str, list[str]] = {name: [] for name in net.switches}
+    for link in net.links:
+        a, b = link.a.node.name, link.b.node.name
+        if a in adjacency and b in adjacency:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+    return adjacency
+
+
+def _preorder(net: "Network", root: str) -> tuple[str, ...]:
+    """DFS preorder over the switch graph; disconnected switches last."""
+    adjacency = _switch_adjacency(net)
+    order: list[str] = []
+    seen: set[str] = set()
+    stack = [root]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        order.append(name)
+        # Reversed so the first-created neighbor is visited first.
+        stack.extend(reversed(adjacency[name]))
+    for name in net.switches:  # isolated switches, registration order
+        if name not in seen:
+            order.append(name)
+    return tuple(order)
+
+
+def partition_network(
+    net: "Network", root: str, n_shards: int, seed: int
+) -> TopologyPartition:
+    """Assign every switch and host of ``net`` to one of ``n_shards``.
+
+    Pure in ``(topology, seed, n_shards)``: rebuilding the same network
+    and partitioning again yields an identical assignment, which is what
+    lets every shard compute the partition locally from its replica.
+    """
+    if n_shards < 1:
+        raise ValueError("shard count must be >= 1")
+    if root not in net.switches:
+        raise ValueError(f"root switch {root!r} is not in the topology")
+    order = _preorder(net, root)
+    n = len(order)
+    base, extra = divmod(n, n_shards)
+    # Which shards get one extra switch: a contiguous ring segment whose
+    # start is the only seeded draw.  When base == 0 (more shards than
+    # switches) the segment is forced to start at shard 0 so the root —
+    # first in preorder — always lands on the coordinator.
+    rng = random.Random(f"partition:{seed}:{n_shards}:{n}")
+    start = 0 if base == 0 else rng.randrange(n_shards)
+    bonus = {(start + j) % n_shards for j in range(extra)}
+    switch_domain: dict[str, int] = {}
+    cursor = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard in bonus else 0)
+        for name in order[cursor:cursor + size]:
+            switch_domain[name] = shard
+        cursor += size
+    host_domain: dict[str, int] = {}
+    for name in net.hosts:
+        switch = net.switch_of_host(name)
+        host_domain[name] = switch_domain[switch.name] if switch is not None else 0
+    cut = tuple(
+        i
+        for i, link in enumerate(net.links)
+        if link.a.node.name in switch_domain
+        and link.b.node.name in switch_domain
+        and switch_domain[link.a.node.name] != switch_domain[link.b.node.name]
+    )
+    return TopologyPartition(
+        n_shards=n_shards,
+        seed=seed,
+        root=root,
+        preorder=order,
+        switch_domain=switch_domain,
+        host_domain=host_domain,
+        cut_links=cut,
+    )

@@ -62,6 +62,11 @@ class FlashCrowd:
         self.connections_started = 0
         self.connections_completed = 0
         self.connections_failed = 0
+        # Sharded ownership filter: every shard replays the identical
+        # round-robin + rng schedule, but only the shard owning a stack's
+        # host actually opens its connection (the filter runs *after* the
+        # round-robin advance so the stack sequence stays in lockstep).
+        self.spawn_filter = None
         self._next_stack = 0
         self._request_payload = b"F" * config.request_bytes
         sim = stacks[0].sim
@@ -151,6 +156,8 @@ class FlashCrowd:
     def _spawn(self) -> None:
         stack = self.stacks[self._next_stack]
         self._next_stack = (self._next_stack + 1) % len(self.stacks)
+        if self.spawn_filter is not None and not self.spawn_filter(stack):
+            return
         self.connections_started += 1
 
         completed = False

@@ -1,0 +1,97 @@
+"""The control-plane service hosting sharded sessions.
+
+The service layer must not care how many processes a scenario spans:
+the serve path must match the batch path byte for byte, centralized
+mutations (blocks, whitelists, budget/DPI retunes) must keep working,
+worker-shard mutations must be rejected loudly, and the merged result
+must answer every report accessor with topology-wide numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.harness.fuzzer import fingerprint_json
+from repro.harness.scenario import ScenarioConfig, run_scenario
+from repro.service.session import Session, SessionState
+from repro.sim.sharded import run_sharded_scenario
+from repro.workload.profiles import WorkloadConfig
+
+
+def _config(**overrides) -> ScenarioConfig:
+    base = dict(
+        topology="linear",
+        topology_params={"n_switches": 3, "clients_per_switch": 1, "n_attackers": 1},
+        duration_s=3.0,
+        seed=13,
+        workload=WorkloadConfig(attack_start_s=1.0, attack_rate_pps=300.0),
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def test_serve_sharded_matches_batch_single_process():
+    # The full oracle chain in one assertion: hosted slice-stepped
+    # sharded session == batch single-process run.
+    config = _config()
+    session = Session("serve", replace(config, shards=2), slice_s=0.4)
+    session.run_to_completion()
+    assert session.state is SessionState.DONE
+    assert fingerprint_json(session.result) == fingerprint_json(run_scenario(config))
+
+
+def test_centralized_reconfigs_apply_worker_side_ones_reject():
+    session = Session("mix", _config(shards=2, duration_s=4.0), slice_s=0.5)
+    session.start()
+    session.schedule_reconfig("block", {"src_ip": "10.9.9.9"}, at=1.0)
+    session.schedule_reconfig("detector", {"k": 4.0}, at=1.5)
+    session.schedule_reconfig("spi", {"verification_window_s": 1.5}, at=2.0)
+    session.run_to_completion()
+    statuses = {e["target"]: e["status"] for e in session.reconfig_log}
+    assert statuses == {"block": "applied", "detector": "rejected", "spi": "applied"}
+    rejected = next(e for e in session.reconfig_log if e["status"] == "rejected")
+    assert "sharded" in rejected["detail"]
+    # The rejection is visible in the trace, like any operator error.
+    assert session.result.net.tracer.entries("service.reconfig_rejected")
+
+
+def test_summary_reports_global_numbers():
+    session = Session("sum", _config(shards=2), slice_s=0.5)
+    session.run_to_completion()
+    summary = session.summary()
+    assert summary["state"] == "done"
+    assert summary["sim_time"] == pytest.approx(3.0)
+    assert summary["steps"] >= 6
+    assert summary["detections"] == len(session.result.detection_times())
+    assert "mitigation" in summary
+
+
+def test_grafted_accessors_answer_topology_wide():
+    # Worker shards ship their client ledgers and attacker counters
+    # home at finish; windowed accessors on the merged result must
+    # equal the single-process run exactly — including windows that
+    # slice mid-run, which per-shard scalar aggregates could not serve.
+    config = _config(duration_s=4.0)
+    single = run_scenario(config)
+    sharded = run_sharded_scenario(replace(config, shards=2), inline=True)
+    for start, end in ((None, None), (0.0, 1.0), (1.0, 4.0), (0.5, 2.5)):
+        if start is None:
+            assert sharded.success_rate() == pytest.approx(single.success_rate())
+            assert sharded.mean_latency() == pytest.approx(single.mean_latency())
+        else:
+            assert sharded.success_rate(start, end) == pytest.approx(
+                single.success_rate(start, end)
+            )
+            assert sharded.mean_latency(start, end) == pytest.approx(
+                single.mean_latency(start, end)
+            )
+    assert (
+        sharded.workload.attack_packets_sent()
+        == single.workload.attack_packets_sent()
+    )
+    assert sharded.buffer_evictions() == single.buffer_evictions()
+    assert sharded.inspected_fraction() == pytest.approx(
+        single.inspected_fraction()
+    )

@@ -1,0 +1,153 @@
+"""Property tests for the deterministic topology partitioner.
+
+The partitioner is the foundation the sharded oracle stands on: every
+shard computes its own partition locally, so the assignment must be a
+pure function of ``(topology, seed, shard count)`` and must cover the
+network exactly.  Hypothesis draws scenario shapes across every
+topology family and checks:
+
+* every switch and every host lands in exactly one shard, and only
+  shards in ``[0, n)`` are used;
+* the cut set is exactly the switch–switch links whose endpoints live
+  in different domains (host attachment links are never cut — a host
+  always follows its edge switch);
+* shard sizes are balanced to within one switch;
+* the partition root (the SPI inspector's switch) is always owned by
+  shard 0, where the controller and correlator live;
+* two independently built copies of the same scenario partition
+  identically (purity), and the assignment is stable per seed while
+  different seeds may differ.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.scenario import ScenarioConfig, _default_edge, build_scenario
+from repro.topology.partition import partition_network
+
+SHAPES = (
+    ("dumbbell", {"n_clients": 2, "n_attackers": 1}),
+    ("single", {"n_clients": 2, "n_attackers": 1}),
+    ("star", {"n_arms": 3, "clients_per_arm": 1, "n_attackers": 1}),
+    ("star", {"n_arms": 2, "clients_per_arm": 2, "n_attackers": 2}),
+    ("linear", {"n_switches": 4, "clients_per_switch": 1, "n_attackers": 1}),
+    ("linear", {"n_switches": 2, "clients_per_switch": 2, "n_attackers": 1}),
+)
+
+
+def _light_config(shape, seed):
+    topology, params = shape
+    return ScenarioConfig(
+        topology=topology,
+        topology_params=dict(params),
+        seed=seed,
+        duration_s=1.0,
+        defense="none",
+        with_attack=False,
+    )
+
+
+def _partition(config, n_shards):
+    result = build_scenario(config)
+    net = result.net
+    root = _default_edge(net, result.roles)
+    return net, root, partition_network(net, root, n_shards, config.seed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.sampled_from(SHAPES),
+    n_shards=st.integers(1, 6),
+    seed=st.integers(1, 10_000),
+)
+def test_partition_covers_everything_exactly_once(shape, n_shards, seed):
+    net, root, part = _partition(_light_config(shape, seed), n_shards)
+    assert set(part.switch_domain) == set(net.switches)
+    assert set(part.host_domain) == set(net.hosts)
+    assert all(0 <= d < n_shards for d in part.switch_domain.values())
+    assert all(0 <= d < n_shards for d in part.host_domain.values())
+    # switches_in/hosts_in tile the network with no overlap
+    seen_switches: list[str] = []
+    seen_hosts: list[str] = []
+    for shard in range(n_shards):
+        seen_switches.extend(part.switches_in(shard))
+        seen_hosts.extend(part.hosts_in(shard))
+    assert sorted(seen_switches) == sorted(net.switches)
+    assert len(seen_switches) == len(set(seen_switches))
+    assert sorted(seen_hosts) == sorted(net.hosts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.sampled_from(SHAPES),
+    n_shards=st.integers(1, 6),
+    seed=st.integers(1, 10_000),
+)
+def test_cut_set_is_exactly_the_inter_domain_switch_links(shape, n_shards, seed):
+    net, root, part = _partition(_light_config(shape, seed), n_shards)
+    cut = set(part.cut_links)
+    for index, link in enumerate(net.links):
+        a, b = link.a.node.name, link.b.node.name
+        if a in net.switches and b in net.switches:
+            crosses = part.switch_domain[a] != part.switch_domain[b]
+            assert (index in cut) == crosses
+        else:
+            # A host attachment link never crosses: hosts inherit their
+            # edge switch's domain.
+            assert index not in cut
+            host, switch = (a, b) if a in net.hosts else (b, a)
+            assert part.host_domain[host] == part.switch_domain[switch]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.sampled_from(SHAPES),
+    n_shards=st.integers(1, 6),
+    seed=st.integers(1, 10_000),
+)
+def test_partition_is_balanced_and_roots_shard_zero(shape, n_shards, seed):
+    net, root, part = _partition(_light_config(shape, seed), n_shards)
+    assert part.switch_domain[root] == 0
+    sizes = [len(part.switches_in(shard)) for shard in range(n_shards)]
+    assert sum(sizes) == len(net.switches)
+    nonzero = [s for s in sizes if s]
+    assert max(sizes) - min(nonzero) <= 1 if nonzero else True
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    shape=st.sampled_from(SHAPES),
+    n_shards=st.integers(1, 6),
+    seed=st.integers(1, 10_000),
+)
+def test_partition_is_a_pure_function_of_topology_seed_and_count(
+    shape, n_shards, seed
+):
+    config = _light_config(shape, seed)
+    _net1, _root1, part1 = _partition(config, n_shards)
+    _net2, _root2, part2 = _partition(config, n_shards)
+    assert part1.switch_domain == part2.switch_domain
+    assert part1.host_domain == part2.host_domain
+    assert part1.cut_links == part2.cut_links
+    assert part1.preorder == part2.preorder
+
+
+def test_different_seeds_can_rotate_the_assignment():
+    # Not a hard requirement per-seed, but across a small seed sweep the
+    # seeded chunk rotation must actually move switches between shards —
+    # otherwise the seed is dead weight in the pure-function signature.
+    # (5 switches over 2 shards leaves a bonus switch for the seeded
+    # ring offset to place; an even split has nothing to rotate.)
+    config = _light_config(
+        ("linear", {"n_switches": 5, "clients_per_switch": 1, "n_attackers": 1}), 1
+    )
+    result = build_scenario(config)
+    net = result.net
+    root = _default_edge(net, result.roles)
+    assignments = {
+        tuple(sorted(partition_network(net, root, 2, seed).switch_domain.items()))
+        for seed in range(12)
+    }
+    assert len(assignments) > 1
