@@ -50,8 +50,8 @@ def _flood_mix(n_packets: int, n_sources: int) -> list[Packet]:
     return packets
 
 
-def _run_feature_plane(benchmark, **extractor_kwargs) -> None:
-    packets = _flood_mix(20_000, 5_000)
+def _run_feature_plane(benchmark, n_sources: int = 5_000, **extractor_kwargs) -> None:
+    packets = _flood_mix(20_000, n_sources)
 
     def run() -> FeatureExtractor:
         extractor = FeatureExtractor(**extractor_kwargs)
@@ -66,7 +66,7 @@ def _run_feature_plane(benchmark, **extractor_kwargs) -> None:
     median = benchmark.stats.stats.median
     benchmark.extra_info["packets_per_second"] = round(len(packets) / median, 1)
     benchmark.extra_info["backend"] = extractor.backend.name
-    for knob in ("sketch_width", "sketch_depth"):
+    for knob in ("sketch_width", "sketch_depth", "sketch_hash_cache"):
         if knob in extractor_kwargs:
             benchmark.extra_info[knob] = extractor_kwargs[knob]
 
@@ -92,6 +92,24 @@ def test_monitor_plane_sketch_deep(benchmark):
     """Sketch backend at a paranoid 2048x6 geometry (tightest bounds)."""
     _run_feature_plane(
         benchmark, backend="sketch", sketch_width=2048, sketch_depth=6
+    )
+
+
+def test_monitor_plane_sketch_repeat_heavy(benchmark):
+    """Sketch backend on a flood that re-hits 200 sources window after
+    window — the hash-memoization fast path (PR 7 follow-up): every add
+    resolves its counter slots from the bounded LRU instead of paying a
+    keyed blake2b digest.  Compare against the cache-disabled twin below
+    for the isolated speedup; contents are identical either way (see
+    tests/test_monitor_sketch.py::TestHashMemoization)."""
+    _run_feature_plane(benchmark, n_sources=200, backend="sketch")
+
+
+def test_monitor_plane_sketch_repeat_heavy_nocache(benchmark):
+    """The same repeat-heavy flood with memoization disabled (artifact
+    twin of the case above; the delta is the cache's contribution)."""
+    _run_feature_plane(
+        benchmark, n_sources=200, backend="sketch", sketch_hash_cache=0
     )
 
 

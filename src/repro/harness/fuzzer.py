@@ -60,6 +60,7 @@ __all__ = [
     "run_differential",
     "run_serve_differential",
     "run_sketch_differential",
+    "run_transport_differential",
     "run_fuzz_suite",
     "DifferentialOutcome",
     "FuzzSuiteReport",
@@ -241,6 +242,7 @@ class FuzzSuiteReport:
     parallel_matched: Optional[bool] = None
     serve_matched: Optional[bool] = None
     sketch_matched: Optional[bool] = None
+    transport_matched: Optional[bool] = None
 
     @property
     def passed(self) -> bool:
@@ -250,6 +252,7 @@ class FuzzSuiteReport:
             and self.parallel_matched is not False
             and self.serve_matched is not False
             and self.sketch_matched is not False
+            and self.transport_matched is not False
         )
 
 
@@ -565,6 +568,80 @@ def run_sketch_differential(seed: int) -> DifferentialOutcome:
     )
 
 
+def run_transport_differential(
+    seed: int, optimized: str = "", workers: int = 2
+) -> DifferentialOutcome:
+    """One seed's transport-invariance check (``--transport-oracle``).
+
+    The generated scenario's fingerprint is recomputed through every
+    result-transport path and must match the in-process baseline byte
+    for byte:
+
+    * the process pool at ``workers`` processes under ``"pickle"`` and
+      ``"shm"`` (two identical tasks, so the fan-out path actually
+      engages — results cross the shared-memory plane under ``"shm"``);
+    * the sharded coordinator (inline workers, full epoch protocol) at
+      1, 2 and 4 shards under both transports, exercising the columnar
+      boundary-batch codec against the legacy per-record pickle path.
+
+    Pass a precomputed batch fingerprint via ``optimized`` to skip
+    re-running the baseline.
+    """
+    from repro.harness.parallel import run_tasks
+    from repro.harness.serialize import config_to_dict
+    from repro.sim.sharded.coordinator import run_sharded_scenario
+
+    config = generate_scenario(seed)
+    try:
+        if not optimized:
+            optimized = fingerprint_json(run_scenario(config))
+        config_data = config_to_dict(config)
+        for transport in ("pickle", "shm"):
+            pooled = run_tasks(
+                _fingerprint_worker,
+                [{"config_data": config_data}] * 2,
+                workers=workers,
+                transport=transport,
+            )
+            for fp in pooled:
+                if fp != optimized:
+                    return DifferentialOutcome(
+                        seed=seed, config=config, matched=False,
+                        detail=(
+                            f"pool transport {transport!r} diverged: "
+                            f"{_diff_summary(optimized, fp)}"
+                        ),
+                        optimized=optimized, reference=fp,
+                    )
+        for shards in (1, 2, 4):
+            for transport in ("pickle", "shm"):
+                fp = fingerprint_json(
+                    run_sharded_scenario(
+                        sharded_variant(config, shards),
+                        inline=True,
+                        transport=transport,
+                    )
+                )
+                if fp != optimized:
+                    return DifferentialOutcome(
+                        seed=seed, config=config, matched=False,
+                        detail=(
+                            f"sharded-{shards} transport {transport!r} "
+                            f"diverged: {_diff_summary(optimized, fp)}"
+                        ),
+                        optimized=optimized, reference=fp,
+                    )
+    except InvariantViolation as violation:
+        return DifferentialOutcome(
+            seed=seed, config=config, matched=False,
+            detail=f"invariant violation: {violation}",
+        )
+    return DifferentialOutcome(
+        seed=seed, config=config, matched=True,
+        optimized=optimized, reference=optimized,
+    )
+
+
 def run_fuzz_suite(
     n_seeds: int = 25,
     base_seed: int = 0,
@@ -574,6 +651,7 @@ def run_fuzz_suite(
     scheduler_oracle: bool = False,
     serve_oracle: bool = False,
     sketch_oracle: bool = False,
+    transport_oracle: bool = False,
     progress: Optional[Callable[[DifferentialOutcome], None]] = None,
 ) -> FuzzSuiteReport:
     """The full differential sweep: ``n_seeds`` scenarios, two engines each.
@@ -590,7 +668,10 @@ def run_fuzz_suite(
     fingerprint byte-identically to the batch path.  With
     ``sketch_oracle`` each seed runs the exact-vs-sketch estimator
     comparison of :func:`run_sketch_differential` plus a full sketch-mode
-    run under invariant sweeps.
+    run under invariant sweeps.  With ``transport_oracle`` each seed's
+    fingerprint is recomputed through the pool and sharded result
+    transports (``"pickle"`` vs ``"shm"``) per
+    :func:`run_transport_differential` and must stay byte-identical.
     """
     seeds = range(base_seed, base_seed + n_seeds)
     outcomes: list[DifferentialOutcome] = []
@@ -636,11 +717,23 @@ def run_fuzz_suite(
                 sketch_matched = False
                 if progress is not None:
                     progress(sketched)
+    transport_matched: Optional[bool] = None
+    if transport_oracle and outcomes:
+        transport_matched = True
+        for outcome in outcomes:
+            shipped = run_transport_differential(
+                outcome.seed, optimized=outcome.optimized, workers=workers
+            )
+            if not shipped.matched:
+                transport_matched = False
+                if progress is not None:
+                    progress(shipped)
     return FuzzSuiteReport(
         outcomes=tuple(outcomes),
         parallel_matched=parallel_matched,
         serve_matched=serve_matched,
         sketch_matched=sketch_matched,
+        transport_matched=transport_matched,
     )
 
 

@@ -23,6 +23,15 @@ All hashing is keyed ``blake2b`` seeded from the monitor config, never
 Python's builtin ``hash``: ``PYTHONHASHSEED`` randomization would make
 fingerprints differ across runs and spawn workers, and the fuzz
 oracles pin byte-identical behavior.
+
+The keyed digest is the sketches' pure-Python hot spot (ROADMAP PR 7
+follow-up), and a flood stream hits the same spoofed-source keys window
+after window, so each sketch memoizes its *derived* per-key values
+(counter slots, HLL slot/rank) in a bounded LRU.  The mapping depends
+only on seed and shape — never on counts — so it survives ``reset()``
+and carries across window folds; contents are byte-identical with the
+cache on, off, or thrashing, and cache bytes are charged to
+``state_bytes`` so the memory ceilings stay honest.
 """
 
 from __future__ import annotations
@@ -33,6 +42,38 @@ from array import array
 from hashlib import blake2b
 
 _MASK64 = (1 << 64) - 1
+
+#: Default per-sketch LRU entries; 0 disables memoization.
+DEFAULT_HASH_CACHE = 256
+
+
+class _LRUCache:
+    """Tiny bounded LRU over a dict (insertion order = recency)."""
+
+    __slots__ = ("cap", "data")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.data: dict = {}
+
+    def get(self, key):
+        data = self.data
+        value = data.pop(key, None)
+        if value is not None:
+            data[key] = value  # refresh recency
+        return value
+
+    def put(self, key, value) -> None:
+        data = self.data
+        if len(data) >= self.cap:
+            del data[next(iter(data))]
+        data[key] = value
+
+    def state_bytes(self) -> int:
+        data = self.data
+        return sys.getsizeof(data) + sum(
+            sys.getsizeof(k) + sys.getsizeof(v) for k, v in data.items()
+        )
 
 
 def _hash64(key: str, seed_bytes: bytes) -> int:
@@ -56,9 +97,15 @@ class CountMinSketch:
     most ``e * total / width`` with probability ``>= 1 - e**-depth``.
     """
 
-    __slots__ = ("width", "depth", "seed", "total", "_rows", "_key")
+    __slots__ = ("width", "depth", "seed", "total", "_rows", "_key", "_cache")
 
-    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 4,
+        seed: int = 0,
+        cache_size: int = DEFAULT_HASH_CACHE,
+    ) -> None:
         if width < 8:
             raise ValueError("width must be >= 8")
         if depth < 1:
@@ -69,6 +116,23 @@ class CountMinSketch:
         self.total = 0
         self._rows = [array("Q", bytes(8 * width)) for _ in range(depth)]
         self._key = _seed_bytes(seed, 0xC31)
+        self._cache = _LRUCache(cache_size) if cache_size > 0 else None
+
+    def _slots(self, key: str) -> tuple:
+        """The key's counter slot per row (memoized; count-independent)."""
+        cache = self._cache
+        if cache is not None:
+            slots = cache.get(key)
+            if slots is not None:
+                return slots
+        digest = _hash64(key, self._key)
+        h1 = digest & 0xFFFFFFFF
+        h2 = (digest >> 32) | 1
+        width = self.width
+        slots = tuple((h1 + i * h2) % width for i in range(self.depth))
+        if cache is not None:
+            cache.put(key, slots)
+        return slots
 
     @property
     def epsilon(self) -> float:
@@ -82,13 +146,8 @@ class CountMinSketch:
 
     def add(self, key: str, amount: int = 1) -> int:
         """Count ``amount`` for ``key``; returns the post-add estimate."""
-        digest = _hash64(key, self._key)
-        h1 = digest & 0xFFFFFFFF
-        h2 = (digest >> 32) | 1
-        width = self.width
         est = sys.maxsize
-        for i, row in enumerate(self._rows):
-            slot = (h1 + i * h2) % width
+        for row, slot in zip(self._rows, self._slots(key)):
             value = row[slot] + amount
             row[slot] = value
             if value < est:
@@ -98,11 +157,9 @@ class CountMinSketch:
 
     def estimate(self, key: str) -> int:
         """Estimated count for ``key`` (never below the true count)."""
-        digest = _hash64(key, self._key)
-        h1 = digest & 0xFFFFFFFF
-        h2 = (digest >> 32) | 1
-        width = self.width
-        return min(row[(h1 + i * h2) % width] for i, row in enumerate(self._rows))
+        return min(
+            row[slot] for row, slot in zip(self._rows, self._slots(key))
+        )
 
     def row_totals(self) -> list[int]:
         """Per-row counter sums; each equals ``total`` by construction
@@ -118,8 +175,11 @@ class CountMinSketch:
         self.total = 0
 
     def state_bytes(self) -> int:
-        """Resident bytes of the counter arrays — O(width * depth)."""
-        return sum(sys.getsizeof(row) for row in self._rows)
+        """Resident bytes: counter arrays plus the bounded slot cache."""
+        total = sum(sys.getsizeof(row) for row in self._rows)
+        if self._cache is not None:
+            total += self._cache.state_bytes()
+        return total
 
 
 class HeavyHitterSketch:
@@ -135,11 +195,16 @@ class HeavyHitterSketch:
     __slots__ = ("cms", "topk", "_cap", "_candidates")
 
     def __init__(
-        self, width: int = 1024, depth: int = 4, topk: int = 8, seed: int = 0
+        self,
+        width: int = 1024,
+        depth: int = 4,
+        topk: int = 8,
+        seed: int = 0,
+        cache_size: int = DEFAULT_HASH_CACHE,
     ) -> None:
         if topk < 1:
             raise ValueError("topk must be >= 1")
-        self.cms = CountMinSketch(width, depth, seed)
+        self.cms = CountMinSketch(width, depth, seed, cache_size=cache_size)
         self.topk = topk
         self._cap = 2 * topk
         self._candidates: dict[str, int] = {}
@@ -207,9 +272,23 @@ class HyperLogLog:
     cardinality this simulator can produce.
     """
 
-    __slots__ = ("precision", "seed", "_m", "_alpha", "_registers", "_key", "total")
+    __slots__ = (
+        "precision",
+        "seed",
+        "_m",
+        "_alpha",
+        "_registers",
+        "_key",
+        "total",
+        "_cache",
+    )
 
-    def __init__(self, precision: int = 12, seed: int = 0) -> None:
+    def __init__(
+        self,
+        precision: int = 12,
+        seed: int = 0,
+        cache_size: int = DEFAULT_HASH_CACHE,
+    ) -> None:
         if not 4 <= precision <= 16:
             raise ValueError("precision must be in [4, 16]")
         self.precision = precision
@@ -226,14 +305,22 @@ class HyperLogLog:
         self._registers = bytearray(self._m)
         self._key = _seed_bytes(seed, 0x41F)
         self.total = 0
+        self._cache = _LRUCache(cache_size) if cache_size > 0 else None
 
     def add(self, key: str) -> None:
         """Observe ``key``."""
         self.total += 1
-        value = _hash64(key, self._key)
-        slot = value & (self._m - 1)
-        rest = value >> self.precision
-        rank = (64 - self.precision) - rest.bit_length() + 1
+        cache = self._cache
+        pair = cache.get(key) if cache is not None else None
+        if pair is None:
+            value = _hash64(key, self._key)
+            slot = value & (self._m - 1)
+            rest = value >> self.precision
+            rank = (64 - self.precision) - rest.bit_length() + 1
+            pair = (slot, rank)
+            if cache is not None:
+                cache.put(key, pair)
+        slot, rank = pair
         registers = self._registers
         if rank > registers[slot]:
             registers[slot] = rank
@@ -264,8 +351,11 @@ class HyperLogLog:
         self.total = 0
 
     def state_bytes(self) -> int:
-        """Resident bytes of the register file — O(2**precision)."""
-        return sys.getsizeof(self._registers)
+        """Resident bytes: register file plus the bounded hash cache."""
+        total = sys.getsizeof(self._registers)
+        if self._cache is not None:
+            total += self._cache.state_bytes()
+        return total
 
 
 class SketchSourceStats:
@@ -293,9 +383,14 @@ class SketchSourceStats:
         topk: int = 8,
         precision: int = 12,
         seed: int = 0,
+        cache_size: int = DEFAULT_HASH_CACHE,
     ) -> None:
-        self.hitters = HeavyHitterSketch(width, depth, topk, seed=seed ^ 0x50FA)
-        self.hll = HyperLogLog(precision, seed=seed ^ 0x7E11)
+        self.hitters = HeavyHitterSketch(
+            width, depth, topk, seed=seed ^ 0x50FA, cache_size=cache_size
+        )
+        self.hll = HyperLogLog(
+            precision, seed=seed ^ 0x7E11, cache_size=cache_size
+        )
 
     @property
     def total(self) -> int:

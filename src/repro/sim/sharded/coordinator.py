@@ -35,6 +35,7 @@ from typing import Any, Optional
 
 from repro.harness.scenario import ScenarioConfig, ScenarioResult, effective_config
 from repro.harness.serialize import config_to_dict
+from repro.harness.transport import resolve_transport
 from repro.harness.shards import (
     InlineShardWorker,
     ShardWorker,
@@ -59,9 +60,18 @@ class ShardedResult:
 
     is_sharded = True
 
-    def __init__(self, base: ScenarioResult, fingerprint_data: dict[str, Any]):
+    def __init__(
+        self,
+        base: ScenarioResult,
+        fingerprint_data: dict[str, Any],
+        transport_stats: Optional[dict[str, Any]] = None,
+    ):
         self._base = base
         self.fingerprint_data = fingerprint_data
+        #: Boundary-exchange telemetry: transport mode, epoch count, and
+        #: batch bytes/records in each direction (zeros under "pickle",
+        #: which ships records without an intermediate buffer).
+        self.transport_stats = transport_stats or {}
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._base, name)
@@ -88,6 +98,7 @@ class ShardedRun:
         *,
         inline: bool = False,
         timeout_s: Optional[float] = None,
+        transport: str = "auto",
     ) -> None:
         if config.shards < 1:
             raise ValueError("shard count must be >= 1")
@@ -102,6 +113,12 @@ class ShardedRun:
         self.result: Optional[ShardedResult] = None
         #: Barrier rounds run so far (telemetry; benchmarks report it).
         self.epochs = 0
+        #: Resolved boundary transport: "shm" packs each epoch's batches
+        #: into one columnar buffer per (src, dest); "pickle" is legacy.
+        self.transport = resolve_transport(transport)
+        #: Boundary records routed through the barrier (all shard pairs,
+        #: coordinator-local included).
+        self.boundary_records = 0
         self.workers: list = []
         self._pending: list[list[tuple[int, list[tuple]]]] = [
             [] for _ in range(config.shards)
@@ -111,12 +128,23 @@ class ShardedRun:
             config_data = config_to_dict(config)
             for shard in range(1, config.shards):
                 if inline:
-                    self.workers.append(InlineShardWorker(shard, config_data))
+                    self.workers.append(
+                        InlineShardWorker(
+                            shard, config_data, transport=self.transport
+                        )
+                    )
                 elif timeout_s is None:
-                    self.workers.append(ShardWorker(shard, config_data))
+                    self.workers.append(
+                        ShardWorker(shard, config_data, transport=self.transport)
+                    )
                 else:
                     self.workers.append(
-                        ShardWorker(shard, config_data, timeout_s=timeout_s)
+                        ShardWorker(
+                            shard,
+                            config_data,
+                            timeout_s=timeout_s,
+                            transport=self.transport,
+                        )
                     )
             self._next[0] = self.coordinator.next_time()
             for worker in self.workers:
@@ -142,6 +170,7 @@ class ShardedRun:
         return bound
 
     def _route(self, src: int, outbox: list[tuple]) -> None:
+        self.boundary_records += len(outbox)
         by_dest: dict[int, list[tuple]] = {}
         for record in outbox:
             by_dest.setdefault(record[5], []).append(record)
@@ -230,7 +259,24 @@ class ShardedRun:
             raise
         graft_workload(self.coordinator.result, reports)
         data = merged_fingerprint_data(self.coordinator.result, reports)
-        self.result = ShardedResult(self.coordinator.result, data)
+        stats = {
+            "transport": self.transport,
+            "epochs": self.epochs,
+            "boundary_records": self.boundary_records,
+            "batch_bytes_to_workers": sum(
+                worker.batch_bytes_out for worker in self.workers
+            ),
+            "batch_records_to_workers": sum(
+                worker.batch_records_out for worker in self.workers
+            ),
+            "batch_bytes_from_workers": sum(
+                worker.batch_bytes_in for worker in self.workers
+            ),
+            "batch_records_from_workers": sum(
+                worker.batch_records_in for worker in self.workers
+            ),
+        }
+        self.result = ShardedResult(self.coordinator.result, data, stats)
         shutdown_workers(self.workers)
         self.workers = []
         return self.result
@@ -247,7 +293,9 @@ class ShardedRun:
 
 
 def run_sharded_scenario(
-    config: ScenarioConfig, *, inline: bool = False
+    config: ScenarioConfig, *, inline: bool = False, transport: str = "auto"
 ) -> ShardedResult:
     """Build, run and merge one sharded scenario (the batch path)."""
-    return ShardedRun(config, inline=inline).run_to_completion()
+    return ShardedRun(
+        config, inline=inline, transport=transport
+    ).run_to_completion()

@@ -263,8 +263,11 @@ class TestSketchBackend:
         for i in range(5_000):
             fx.observe(tcp(TCP_SYN, src_ip=f"10.{i >> 8}.{i & 255}.1"))
         fx.close_window(1.0)
+        # Enough sources to saturate the bounded hash caches, so the
+        # comparison isolates population-dependent growth.
         few = FeatureExtractor(backend="sketch", track_state_bytes=True)
-        few.observe(tcp(TCP_SYN))
+        for i in range(1_000):
+            few.observe(tcp(TCP_SYN, src_ip=f"10.0.{i >> 8}.{i & 255}"))
         few.close_window(1.0)
         assert fx.peak_state_bytes <= few.peak_state_bytes * 1.1
 

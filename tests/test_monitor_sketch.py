@@ -82,12 +82,23 @@ class TestCountMinSketch:
         assert cms.estimate("k") == 0
         assert cms.row_totals() == [0, 0]
 
-    def test_state_bytes_fixed(self):
-        cms = CountMinSketch(width=256, depth=4, seed=1)
+    def test_state_bytes_fixed_without_cache(self):
+        cms = CountMinSketch(width=256, depth=4, seed=1, cache_size=0)
         before = cms.state_bytes()
         for key in _stream(11, 5000, 5000):
             cms.add(key)
         assert cms.state_bytes() == before
+
+    def test_state_bytes_bounded_with_cache(self):
+        """The slot cache saturates at its cap; more keys add no memory."""
+        cms = CountMinSketch(width=256, depth=4, seed=1)
+        for key in _stream(11, 5000, 5000):
+            cms.add(key)
+        saturated = cms.state_bytes()
+        for key in _stream(13, 5000, 5000):
+            cms.add(key)
+        assert len(cms._cache.data) <= 256
+        assert cms.state_bytes() <= saturated * 1.05
 
 
 class TestHeavyHitterSketch:
@@ -160,7 +171,7 @@ class TestHyperLogLog:
         assert a.estimate() == b.estimate()
 
     def test_reset_and_state_bytes(self):
-        hll = HyperLogLog(precision=10, seed=1)
+        hll = HyperLogLog(precision=10, seed=1, cache_size=0)
         size = hll.state_bytes()
         for i in range(10_000):
             hll.add(f"k{i}")
@@ -208,13 +219,71 @@ class TestSketchSourceStats:
         assert stats.entropy() == pytest.approx(1.0, abs=0.01)
 
     def test_state_bytes_independent_of_stream(self):
+        # Enough keys to saturate the hash caches, so the baseline
+        # already includes their full (bounded) footprint.
         stats = SketchSourceStats(seed=5)
-        for i in range(50):
+        for i in range(1000):
             stats.add(f"k{i}")
         small = stats.state_bytes()
         for i in range(50_000):
             stats.add(f"k{i}")
         assert stats.state_bytes() <= small * 1.1
+
+
+class TestHashMemoization:
+    """The LRU memoizes *derived* per-key values only, so sketch contents
+    are byte-identical with the cache on, off, or thrashing — the golden
+    contract that keeps fingerprints transport- and cache-invariant."""
+
+    def test_cms_rows_identical_with_and_without_cache(self):
+        cached = CountMinSketch(width=128, depth=4, seed=9, cache_size=16)
+        plain = CountMinSketch(width=128, depth=4, seed=9, cache_size=0)
+        for key in _stream(21, 4000, 60):
+            cached.add(key)
+            plain.add(key)
+        assert [bytes(r) for r in cached._rows] == [bytes(r) for r in plain._rows]
+        assert cached.total == plain.total
+
+    def test_hll_registers_identical_with_and_without_cache(self):
+        cached = HyperLogLog(precision=10, seed=3, cache_size=8)
+        plain = HyperLogLog(precision=10, seed=3, cache_size=0)
+        for key in _stream(22, 4000, 500):
+            cached.add(key)
+            plain.add(key)
+        assert bytes(cached._registers) == bytes(plain._registers)
+
+    @pytest.mark.parametrize("cache_size", (0, 3, 256))
+    def test_source_stats_identical_across_window_folds(self, cache_size):
+        """Every cache size yields the same per-window outputs, and the
+        cache survives reset() — the key→slot mapping depends only on
+        seed and shape, never on counts."""
+        stats = SketchSourceStats(
+            width=256, depth=4, topk=8, precision=10, seed=42,
+            cache_size=cache_size,
+        )
+        golden = SketchSourceStats(
+            width=256, depth=4, topk=8, precision=10, seed=42, cache_size=0
+        )
+        stream = _stream(23, 20_000, 200)
+        for fold in range(5):
+            for key in stream[fold * 4000 : (fold + 1) * 4000]:
+                stats.add(key)
+                golden.add(key)
+            assert stats.distinct == golden.distinct
+            assert stats.entropy() == golden.entropy()
+            assert stats.hitters.top() == golden.hitters.top()
+            stats.reset()
+            golden.reset()
+
+    def test_lru_evicts_and_stays_correct(self):
+        cms = CountMinSketch(width=128, depth=4, seed=5, cache_size=4)
+        keys = [f"k{i}" for i in range(32)]
+        for _ in range(3):
+            for key in keys:  # 32 distinct keys thrash a 4-entry cache
+                cms.add(key)
+        assert len(cms._cache.data) <= 4
+        for key in keys:
+            assert cms.estimate(key) >= 3
 
 
 # ------------------------------------------------- property-based bounds
