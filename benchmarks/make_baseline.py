@@ -13,9 +13,11 @@ Usage::
 The committed baseline keeps only the event-loop, scenario,
 flood-throughput, monitor-plane and transport-decode cases — the
 millisecond-scale benchmarks whose medians are stable enough to gate
-on.  (The transport pair gates the parent-side decode comparison only;
-the pack-side and batch-codec cases stay artifact-only because the
-codec honestly loses those — see bench_transport.py.)  The nanosecond-scale cases (flow-table
+on.  (The transport gates cover the parent-side decode comparison and
+the typed-array pack/unpack pairs, where the codec beats pickle in both
+directions; the untyped pack-side and batch-codec cases stay
+artifact-only because the codec honestly loses those — see
+bench_transport.py.)  The nanosecond-scale cases (flow-table
 probes, packet pack/parse) jitter by tens of percent between runs on
 shared hardware, so gating on them would make CI flaky; they are still
 measured and uploaded as a workflow artifact on every build.  Raw
@@ -49,6 +51,12 @@ BASELINE_CASES = (
     "test_sharded_single_shard_overhead",
     "test_transport_unpack_floats",
     "test_transport_pickle_loads_floats",
+    # PR 10 typed-array node: the codec beats pickle in both directions
+    # on typed payloads, so both pairs are gated.
+    "test_transport_pack_typed_floats",
+    "test_transport_pickle_dumps_typed_floats",
+    "test_transport_unpack_typed_floats",
+    "test_transport_pickle_loads_typed_floats",
 )
 STATS_KEYS = (
     "min", "max", "mean", "stddev", "median", "iqr", "ops", "rounds", "iterations"

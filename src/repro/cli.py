@@ -281,6 +281,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "through the pool and sharded result transports "
                             "(pickle vs shared-memory) and require "
                             "byte-identical results")
+    check.add_argument("--kernel-oracle", action="store_true",
+                       help="additionally replay every kernel-accelerated "
+                            "path (sketch folds, feature folds, transport "
+                            "pack) under both the numpy and scalar twins "
+                            "and require byte-identical state")
     check.add_argument("--json", action="store_true",
                        help="machine-readable per-seed report")
     return parser
@@ -462,6 +467,7 @@ def _command_check(args: argparse.Namespace) -> int:
         serve_oracle=args.serve_oracle,
         sketch_oracle=args.sketch_oracle,
         transport_oracle=args.transport_oracle,
+        kernel_oracle=args.kernel_oracle,
         progress=None if args.json else lambda o: print(describe_outcome(o)),
     )
     failed = [o for o in report.outcomes if not o.matched]
@@ -476,6 +482,7 @@ def _command_check(args: argparse.Namespace) -> int:
             "serve_oracle": report.serve_matched,
             "sketch_oracle": report.sketch_matched,
             "transport_oracle": report.transport_matched,
+            "kernel_oracle": report.kernel_matched,
             "passed": report.passed,
         }, indent=2))
     else:
@@ -497,6 +504,11 @@ def _command_check(args: argparse.Namespace) -> int:
             oracle += (
                 f", transport oracle "
                 f"{'ok' if report.transport_matched else 'MISMATCH'}"
+            )
+        if report.kernel_matched is not None:
+            oracle += (
+                f", kernel oracle "
+                f"{'ok' if report.kernel_matched else 'MISMATCH'}"
             )
         print(
             f"{verdict}: {len(report.outcomes) - len(failed)}/"

@@ -9,6 +9,7 @@ request             reply
 ==================  ====================================================
 ``("epoch", batches, limit)``   ``("ok", (next_time, outbox))``
 ``("stop_workload",)``          ``("ok", (next_time, outbox))``
+``("reconfig", target, params)``  ``("ok", applied)``
 ``("finish", duration)``        ``("ok", report)``
 ``("close",)``                  *(none; the worker exits)*
 ==================  ====================================================
@@ -143,6 +144,15 @@ def _dispatch(runtime, request: tuple) -> Any:
     if tag == "stop_workload":
         runtime.stop_workload()
         return (runtime.next_time(), runtime.take_outbox())
+    if tag == "reconfig":
+        # One leg of a coordinator-driven retune broadcast: the
+        # coordinator already validated the mutation against the shared
+        # config, so this shard applies it to its own live monitors.
+        # Imported lazily like the codec (see _pack_request).
+        from repro.service.reconfig import apply_reconfig
+
+        _tag, target, params = request
+        return apply_reconfig(runtime.result, target, params, broadcast=True)
     if tag == "finish":
         return runtime.finish(request[1])
     raise ValueError(f"unknown shard request {tag!r}")

@@ -25,9 +25,12 @@ holds all per-address state, which is what ``state_bytes`` reports.
 from __future__ import annotations
 
 import sys
+from collections import Counter
 from dataclasses import dataclass, field
+from itertools import compress
 from typing import NamedTuple
 
+from repro import kernels
 from repro.net.flowkey import FlowKey
 from repro.net.headers import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN
 from repro.net.packet import Packet
@@ -152,6 +155,31 @@ class ExactFeatureBackend:
         counts = self._dst_udp
         counts[dst] = counts.get(dst, 0) + 1
 
+    def fold(
+        self,
+        src_counts: Counter,
+        syn_dst_counts: Counter,
+        udp_dst_counts: Counter,
+        n_syn: int,
+        n_udp: int,
+    ) -> None:
+        """Merge whole-window per-key counts (first-touch order).
+
+        Byte-identical to the equivalent per-packet ``add_syn``/
+        ``add_udp`` sequence: dict/Counter insertion order under a
+        first-touch-ordered merge matches sequential adds, so every
+        downstream tie-break and the entropy summation order survive.
+        """
+        self.syn_adds += n_syn
+        self.udp_adds += n_udp
+        self.sources.add_counts(src_counts)
+        counts = self._dst_syns
+        for dst, c in syn_dst_counts.items():
+            counts[dst] = counts.get(dst, 0) + c
+        counts = self._dst_udp
+        for dst, c in udp_dst_counts.items():
+            counts[dst] = counts.get(dst, 0) + c
+
     def summarize(self, scale: float, cap: int | None) -> _Summary:
         dst_counts = self._dst_syns
         # max() iterates in insertion (first-increment) order, matching the
@@ -233,6 +261,26 @@ class SketchFeatureBackend:
         self.udp_adds += 1
         self.sources.add(src)
         self.udp_dsts.add(dst)
+
+    def fold(
+        self,
+        src_counts: Counter,
+        syn_dst_counts: Counter,
+        udp_dst_counts: Counter,
+        n_syn: int,
+        n_udp: int,
+    ) -> None:
+        """Bulk-add whole-window per-key counts into the sketches.
+
+        One keyed hash (or LRU hit) per *unique* key per sketch; the
+        heavy-hitter candidate set sees one whole-window amount per key
+        — the canonical bulk semantics shared by both kernel twins.
+        """
+        self.syn_adds += n_syn
+        self.udp_adds += n_udp
+        self.sources.add_bulk(src_counts)
+        self.syn_dsts.add_bulk(syn_dst_counts)
+        self.udp_dsts.add_bulk(udp_dst_counts)
 
     def summarize(self, scale: float, cap: int | None) -> _Summary:
         syn_top = self.syn_dsts.top(cap if cap is not None else None)
@@ -384,32 +432,27 @@ class FeatureExtractor:
             self._b_dst.append(ip.dst_ip)
 
     def close_window(self, now: float) -> WindowFeatures:
-        """Fold the batch through the backend, summarize, and reset."""
+        """Fold the batch through the backend, summarize, and reset.
+
+        The flag column is classified by a kernel twin
+        (:func:`repro.kernels.classify_flags`), the address columns are
+        reduced to first-touch-ordered per-key Counters, and the backend
+        ingests the whole window through ``fold`` — one state touch per
+        *unique* key instead of one per packet.
+        """
         backend = self.backend
         flags_list = self._b_flags
         n_batch = len(flags_list)
-        n_tcp = n_syn = n_synack = n_ack = n_rst = n_fin = n_udp = 0
-        syn_bit, ack_bit, rst_bit, fin_bit = TCP_SYN, TCP_ACK, TCP_RST, TCP_FIN
-        add_syn = backend.add_syn
-        add_udp = backend.add_udp
-        for flags, src, dst in zip(flags_list, self._b_src, self._b_dst):
-            if flags >= 0:
-                n_tcp += 1
-                if flags & syn_bit:
-                    if flags & ack_bit:
-                        n_synack += 1
-                    else:
-                        n_syn += 1
-                        add_syn(src, dst)
-                elif flags & ack_bit:
-                    n_ack += 1
-                if flags & rst_bit:
-                    n_rst += 1
-                if flags & fin_bit:
-                    n_fin += 1
-            else:
-                n_udp += 1
-                add_udp(src, dst)
+        fold = kernels.classify_flags(
+            flags_list, TCP_SYN, TCP_ACK, TCP_RST, TCP_FIN
+        )
+        src_counts = Counter(compress(self._b_src, fold.src_sel))
+        syn_dst_counts = Counter(compress(self._b_dst, fold.syn_sel))
+        udp_dst_counts = Counter(compress(self._b_dst, fold.udp_sel))
+        backend.fold(
+            src_counts, syn_dst_counts, udp_dst_counts, fold.n_syn, fold.n_udp
+        )
+        n_tcp, n_syn, n_synack, n_ack, n_rst, n_fin, n_udp = fold[:7]
         scale = self._scale
         summary = backend.summarize(scale, self.per_destination_cap)
         features = WindowFeatures(

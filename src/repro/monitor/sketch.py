@@ -41,6 +41,8 @@ import sys
 from array import array
 from hashlib import blake2b
 
+from repro import kernels
+
 _MASK64 = (1 << 64) - 1
 
 #: Default per-sketch LRU entries; 0 disables memoization.
@@ -155,6 +157,22 @@ class CountMinSketch:
         self.total += amount
         return est
 
+    def add_bulk(self, counts: dict) -> list:
+        """Count every ``(key, amount)`` pair; returns post-add estimates.
+
+        Equivalent to sequential :meth:`add` calls in the dict's
+        iteration (first-touch) order — the kernel twins reproduce the
+        exact estimate sequence and counter bytes — with one slot
+        resolve (and one LRU touch) per unique key.
+        """
+        if not counts:
+            return []
+        slots = self._slots
+        slots_list = [slots(key) for key in counts]
+        ests = kernels.cms_bulk_add(self._rows, slots_list, list(counts.values()))
+        self.total += sum(counts.values())
+        return ests
+
     def estimate(self, key: str) -> int:
         """Estimated count for ``key`` (never below the true count)."""
         return min(
@@ -228,6 +246,28 @@ class HeavyHitterSketch:
                 del cand[weakest]
                 cand[key] = est
         return est
+
+    def add_bulk(self, counts: dict) -> list:
+        """Count every ``(key, amount)`` pair and refresh the candidates.
+
+        The candidate maintenance runs once per *unique* key with that
+        key's whole-window amount — the canonical bulk semantics both
+        kernel twins share (``--kernel-oracle`` pins them byte-identical).
+        """
+        ests = self.cms.add_bulk(counts)
+        cand = self._candidates
+        cap = self._cap
+        for key, est in zip(counts, ests):
+            if key in cand:
+                cand[key] = est
+            elif len(cand) < cap:
+                cand[key] = est
+            else:
+                weakest = min(cand, key=cand.get)  # first-inserted wins ties
+                if est > cand[weakest]:
+                    del cand[weakest]
+                    cand[key] = est
+        return ests
 
     def estimate(self, key: str) -> int:
         """Estimated count for ``key``."""
@@ -325,6 +365,37 @@ class HyperLogLog:
         if rank > registers[slot]:
             registers[slot] = rank
 
+    def add_bulk(self, keys) -> None:
+        """Observe each key once (bulk adds count one distinct per key).
+
+        The slot/rank resolve (hash + LRU traffic) is shared scalar
+        code; only the register fold is a kernel twin — max commutes,
+        so the register file is byte-identical either way.
+        """
+        keys = keys if isinstance(keys, list) else list(keys)
+        if not keys:
+            return
+        self.total += len(keys)
+        cache = self._cache
+        hash_key = self._key
+        mask = self._m - 1
+        precision = self.precision
+        slots = []
+        ranks = []
+        for key in keys:
+            pair = cache.get(key) if cache is not None else None
+            if pair is None:
+                value = _hash64(key, hash_key)
+                slot = value & mask
+                rest = value >> precision
+                rank = (64 - precision) - rest.bit_length() + 1
+                pair = (slot, rank)
+                if cache is not None:
+                    cache.put(key, pair)
+            slots.append(pair[0])
+            ranks.append(pair[1])
+        kernels.hll_bulk_max(self._registers, slots, ranks)
+
     def estimate(self) -> float:
         """Estimated number of distinct keys observed."""
         m = self._m
@@ -402,6 +473,11 @@ class SketchSourceStats:
         self.hitters.add(key, amount)
         # Bulk adds contribute one distinct key regardless of amount.
         self.hll.add(key)
+
+    def add_bulk(self, counts: dict) -> None:
+        """Observe every ``(key, amount)`` pair (one distinct each)."""
+        self.hitters.add_bulk(counts)
+        self.hll.add_bulk(counts.keys())
 
     @property
     def distinct(self) -> int:

@@ -91,6 +91,17 @@ class EntropyAccumulator:
         self._counts[key] += amount
         self._total += amount
 
+    def add_counts(self, counts: dict[str, int]) -> None:
+        """Merge a whole per-key count mapping in its iteration order.
+
+        ``Counter.update`` inserts unseen keys in the mapping's own
+        order, so a first-touch-ordered mapping reproduces the exact
+        insertion order — and therefore the exact ``entropy()`` float
+        summation order — of equivalent sequential :meth:`add` calls.
+        """
+        self._counts.update(counts)
+        self._total += sum(counts.values())
+
     @property
     def total(self) -> int:
         """Total observations this window."""

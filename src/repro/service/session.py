@@ -278,6 +278,42 @@ class Session:
     ) -> None:
         assert self.result is not None
         result = self.result
+        if self._sharded is not None and target in ("detector", "monitor"):
+            # Monitors execute on the worker shards that own their
+            # switches, so these targets cannot ride the coordinator's
+            # simulation clock: the epoch coordinator cuts an epoch just
+            # below ``at`` and broadcasts the retune to every shard
+            # before events at ``at`` run.  The callback reproduces the
+            # exact log entry and trace events the in-process path
+            # records.
+            def record(
+                when: float, applied: Optional[dict[str, Any]], detail: Optional[str]
+            ) -> None:
+                entry: dict[str, Any] = {
+                    "at": when, "target": target, "params": dict(params),
+                }
+                if detail is None:
+                    entry["applied"] = applied
+                    entry["status"] = "applied"
+                    result.net.tracer.emit(
+                        "service.reconfig",
+                        f"session={self.id} target={target} params={params!r}",
+                        session=self.id,
+                        target=target,
+                    )
+                else:
+                    entry["status"] = "rejected"
+                    entry["detail"] = detail
+                    result.net.tracer.emit(
+                        "service.reconfig_rejected",
+                        f"session={self.id} target={target}: {detail}",
+                        session=self.id,
+                        target=target,
+                    )
+                self.reconfig_log.append(entry)
+
+            self._sharded.schedule_reconfig(at, target, dict(params), record)
+            return
 
         def apply() -> None:
             sim_now = result.net.sim.now

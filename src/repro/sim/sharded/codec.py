@@ -36,6 +36,7 @@ import struct
 from array import array
 from typing import Any
 
+from repro import kernels
 from repro.net.packet import Packet, parse_packet
 from repro.openflow.messages import Message, PacketIn, PacketOut
 
@@ -161,14 +162,17 @@ def _encode_batch_columnar(records: list) -> bytes:
             link_ends.append(len(wire))
         else:
             others.append(payload)
-    if set(map(type, t_col)) - {float} or set(map(type, emit_col)) - {float}:
+    if not (
+        kernels.uniform_type(t_col, float)
+        and kernels.uniform_type(emit_col, float)
+    ):
         raise TypeError("non-float boundary times")
     others_blob = pickle.dumps(others, protocol=pickle.HIGHEST_PROTOCOL)
     out = bytearray(_BATCH_MAGIC)
     out.append(_BATCH_COLUMNAR)
     out += struct.pack("=Q", n)
-    out += array("d", t_col).tobytes()
-    out += array("d", emit_col).tobytes()
+    out += kernels.f64_pack(t_col)
+    out += kernels.f64_pack(emit_col)
     out += kind_col.tobytes()
     out += entity_col.tobytes()
     out += seq_col.tobytes()

@@ -30,8 +30,9 @@ after the surviving siblings are torn down.
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.harness.scenario import ScenarioConfig, ScenarioResult, effective_config
 from repro.harness.serialize import config_to_dict
@@ -106,8 +107,9 @@ class ShardedRun:
         self.config = config
         self.duration = config.duration_s
         self.coordinator = ShardRuntime(config, 0)
-        # Gates coordinator-side mutations that cannot reach worker
-        # replicas (service reconfig rejects detector/monitor retunes).
+        # Gates bare coordinator-side mutations that cannot reach worker
+        # replicas; detector/monitor retunes go through
+        # :meth:`schedule_reconfig`, which broadcasts to every shard.
         self.coordinator.result.is_sharded = True
         self.lookahead = self.coordinator.lookahead
         self.result: Optional[ShardedResult] = None
@@ -124,6 +126,10 @@ class ShardedRun:
             [] for _ in range(config.shards)
         ]
         self._next = [math.inf] * config.shards
+        # Barrier-aligned retune broadcasts: (at, seq, target, params,
+        # callback) ordered by time then registration.
+        self._reconfigs: list[tuple] = []
+        self._reconfig_seq = 0
         try:
             config_data = config_to_dict(config)
             for shard in range(1, config.shards):
@@ -226,11 +232,77 @@ class ShardedRun:
             return
         self._exchange(lambda shard: ("epoch", [], target), "pin")
 
+    # ------------------------------------------------------------ reconfig
+
+    def schedule_reconfig(
+        self,
+        at: float,
+        target: str,
+        params: dict,
+        callback: Optional[Callable] = None,
+    ) -> None:
+        """Register a retune to broadcast to every shard at time ``at``.
+
+        Detector/monitor retunes cannot ride the coordinator's
+        simulation clock — the monitors execute on the worker shards
+        that own their switches — so they are applied at an epoch
+        barrier instead: :meth:`advance` cuts its epochs just below
+        ``at``, applies the mutation to the coordinator's scenario
+        (shard 0's monitors live here, and validation is atomic), ships
+        the same ``("reconfig", target, params)`` request to every
+        worker, then resumes.  The retune is therefore in effect before
+        any event at time ``>= at`` executes, on every shard.  Times in
+        the past clamp to the current barrier.  ``callback(at, applied,
+        detail)`` reports the outcome — ``applied`` is the change dict
+        on success, ``detail`` the rejection message otherwise.
+        """
+        heapq.heappush(
+            self._reconfigs,
+            (max(at, self.now), self._reconfig_seq, target, dict(params), callback),
+        )
+        self._reconfig_seq += 1
+
+    def _broadcast_reconfig(self, target: str, params: dict) -> None:
+        """One barrier round applying a validated retune on every worker."""
+        try:
+            for worker in self.workers:
+                worker.send(("reconfig", target, params))
+            for worker in self.workers:
+                worker.recv("reconfig")
+        except BaseException:
+            shutdown_workers(self.workers)
+            raise
+
+    def _apply_due_reconfigs(self, target: float) -> None:
+        """Run up to and apply every registered retune at times ``<= target``."""
+        from repro.service.reconfig import apply_reconfig
+
+        while self._reconfigs and self._reconfigs[0][0] <= target:
+            at, _seq, tgt, params, callback = heapq.heappop(self._reconfigs)
+            cut = math.nextafter(at, -math.inf)
+            while self._run_epoch(cut):
+                pass
+            self._pin(cut)
+            try:
+                applied = apply_reconfig(
+                    self.coordinator.result, tgt, params, broadcast=True
+                )
+            except (ValueError, KeyError) as exc:
+                # Validation rejected the retune before any mutation, on
+                # the same config every shard shares — nothing to ship.
+                if callback is not None:
+                    callback(at, None, str(exc))
+                continue
+            self._broadcast_reconfig(tgt, params)
+            if callback is not None:
+                callback(at, applied, None)
+
     # ------------------------------------------------------------- driving
 
     def advance(self, target: float) -> float:
         """Run every shard's events up to ``target`` (inclusive); pin clocks."""
         target = min(target, self.duration)
+        self._apply_due_reconfigs(target)
         while self._run_epoch(target):
             pass
         self._pin(target)

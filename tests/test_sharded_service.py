@@ -3,18 +3,22 @@
 The service layer must not care how many processes a scenario spans:
 the serve path must match the batch path byte for byte, centralized
 mutations (blocks, whitelists, budget/DPI retunes) must keep working,
-worker-shard mutations must be rejected loudly, and the merged result
-must answer every report accessor with topology-wide numbers.
+monitor/detector retunes must reach every worker shard's live monitors
+through the epoch barrier (and fingerprint-match a single-process run
+replaying the same schedule), and the merged result must answer every
+report accessor with topology-wide numbers.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from types import SimpleNamespace
 
 import pytest
 
 from repro.harness.fuzzer import fingerprint_json
 from repro.harness.scenario import ScenarioConfig, run_scenario
+from repro.service.reconfig import apply_reconfig
 from repro.service.session import Session, SessionState
 from repro.sim.sharded import run_sharded_scenario
 from repro.workload.profiles import WorkloadConfig
@@ -42,19 +46,58 @@ def test_serve_sharded_matches_batch_single_process():
     assert fingerprint_json(session.result) == fingerprint_json(run_scenario(config))
 
 
-def test_centralized_reconfigs_apply_worker_side_ones_reject():
+def test_retune_broadcast_matches_single_process():
+    # A mid-run detector/monitor retune reaches every worker shard's
+    # live monitors through the epoch barrier: the merged sharded run
+    # fingerprints byte-identical to a single-process session replaying
+    # the same schedule.  Off-grid times (nothing else fires at
+    # t=1.2345) make the barrier-cut semantics — retune applies before
+    # any event at ``at`` — equivalent to the simulation-clock event.
+    schedule = (
+        ("detector", {"k": 0.5}, 1.2345),
+        ("monitor", {"holddown_s": 2.5}, 1.7511),
+    )
+    config = _config(duration_s=4.0)
+
+    def run(shards: int) -> Session:
+        cfg = config if shards == 1 else replace(config, shards=shards)
+        session = Session("bcast", cfg, slice_s=0.5)
+        session.start()
+        for target, params, at in schedule:
+            session.schedule_reconfig(target, params, at=at)
+        session.run_to_completion()
+        return session
+
+    single = run(1)
+    sharded = run(2)
+    assert [e["status"] for e in sharded.reconfig_log] == ["applied", "applied"]
+    assert sharded.reconfig_log == single.reconfig_log
+    assert sharded.result.net.tracer.entries("service.reconfig")
+    assert fingerprint_json(sharded.result) == fingerprint_json(single.result)
+    # The retunes actually changed the run — without the broadcast the
+    # match above would hold vacuously.
+    assert fingerprint_json(single.result) != fingerprint_json(run_scenario(config))
+
+
+def test_centralized_reconfigs_still_apply_mid_run():
     session = Session("mix", _config(shards=2, duration_s=4.0), slice_s=0.5)
     session.start()
     session.schedule_reconfig("block", {"src_ip": "10.9.9.9"}, at=1.0)
-    session.schedule_reconfig("detector", {"k": 4.0}, at=1.5)
     session.schedule_reconfig("spi", {"verification_window_s": 1.5}, at=2.0)
     session.run_to_completion()
     statuses = {e["target"]: e["status"] for e in session.reconfig_log}
-    assert statuses == {"block": "applied", "detector": "rejected", "spi": "applied"}
-    rejected = next(e for e in session.reconfig_log if e["status"] == "rejected")
-    assert "sharded" in rejected["detail"]
-    # The rejection is visible in the trace, like any operator error.
-    assert session.result.net.tracer.entries("service.reconfig_rejected")
+    assert statuses == {"block": "applied", "spi": "applied"}
+
+
+def test_bare_coordinator_retune_still_rejected():
+    # The broadcast flag is the coordinator's private leg marker: a
+    # direct apply on a sharded result (no barrier, no fan-out) keeps
+    # rejecting rather than mutating inert replicas.
+    fake = SimpleNamespace(is_sharded=True)
+    with pytest.raises(ValueError, match="not reconfigurable on a sharded"):
+        apply_reconfig(fake, "detector", {"k": 4.0})
+    with pytest.raises(ValueError, match="not reconfigurable on a sharded"):
+        apply_reconfig(fake, "monitor", {"holddown_s": 2.0})
 
 
 def test_summary_reports_global_numbers():
